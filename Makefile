@@ -1,0 +1,31 @@
+# RichNote reproduction -- common targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench artifacts examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate every figure artifact from a fresh synthetic trace.
+artifacts:
+	$(PYTHON) -m repro.cli generate-trace --preset medium --out /tmp/richnote-trace.jsonl.gz
+	$(PYTHON) -m repro.cli figures --trace /tmp/richnote-trace.jsonl.gz --out artifacts --users 25
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/presentation_survey.py
+	$(PYTHON) examples/pubsub_broker.py
+	$(PYTHON) examples/multimedia_feeds.py
+	$(PYTHON) examples/live_system.py
+	$(PYTHON) examples/spotify_week.py --budgets 1,5,20,100 --users 10
+
+clean:
+	rm -rf artifacts .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

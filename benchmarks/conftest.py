@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmarks run on the calibrated "medium" workload (60 users, one
+simulated week -- the paper's trace span) and share one trained
+content-utility annotation so every (method, budget) cell scores items
+identically, as a deployed model would.
+"""
+
+import pytest
+
+from repro.experiments.runner import UtilityAnnotations
+from repro.experiments.workloads import eval_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return eval_workload("medium")
+
+
+@pytest.fixture(scope="session")
+def annotations(workload):
+    return UtilityAnnotations.train(workload, seed=97)
+
+
+@pytest.fixture(scope="session")
+def bench_users(workload):
+    """The busiest 25 users -- the paper's 'top users' focus, bench-sized."""
+    return workload.top_users(25)

@@ -1,0 +1,141 @@
+"""Ablation benchmarks for RichNote's design choices (DESIGN.md Section 5).
+
+1. **Learned vs oracle content utility** -- how much headroom classifier
+   error leaves on the table: rerun the headline comparison with U_c taken
+   from ground truth.
+2. **Aging** -- disable the recency decay and show late deliveries stop
+   being penalized (UTIL closes the utility gap at starved budgets),
+   demonstrating why the aging factor matters for the Fig. 4(a) shape.
+3. **Lyapunov V extremes vs baselines** -- V -> 0 degenerates toward pure
+   queue-draining (utility drops); the default V recovers it.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.runner import UtilityAnnotations, run_experiment
+
+BUDGET_MB = 10.0
+
+
+def test_bench_oracle_vs_learned_utility(benchmark, workload, bench_users, annotations):
+    def run():
+        config = ExperimentConfig(weekly_budget_mb=BUDGET_MB)
+        oracle_annotations = UtilityAnnotations.train(workload, oracle=True)
+        learned = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, bench_users
+        )
+        oracle = run_experiment(
+            workload,
+            MethodSpec(Method.RICHNOTE),
+            config,
+            oracle_annotations,
+            bench_users,
+        )
+        return learned, oracle
+
+    learned, oracle = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("# Ablation: learned vs oracle content utility (RichNote, 10MB)")
+    print(f"learned: total_utility={learned.aggregate.total_utility:.1f} "
+          f"precision={learned.aggregate.precision:.3f}")
+    print(f"oracle:  total_utility={oracle.aggregate.total_utility:.1f} "
+          f"precision={oracle.aggregate.precision:.3f}")
+    # Oracle scoring concentrates utility on truly-clicked items.
+    assert oracle.aggregate.precision >= learned.aggregate.precision - 0.02
+    assert learned.aggregate.delivery_ratio > 0.95
+
+
+def test_bench_aging_ablation(benchmark, workload, annotations, bench_users):
+    def run():
+        aged = ExperimentConfig(weekly_budget_mb=2.0)
+        unaged = replace(aged, aging_tau_seconds=None)
+        rows = {}
+        for label, config in (("aged", aged), ("no-aging", unaged)):
+            richnote = run_experiment(
+                workload, MethodSpec(Method.RICHNOTE), config, annotations,
+                bench_users,
+            )
+            util = run_experiment(
+                workload, MethodSpec(Method.UTIL, 3), config, annotations,
+                bench_users,
+            )
+            rows[label] = (
+                richnote.aggregate.total_utility,
+                util.aggregate.total_utility,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("# Ablation: recency aging of content utility (2MB budget)")
+    print("setting    RichNote   UTIL-L3   ratio")
+    for label, (richnote, util) in rows.items():
+        print(f"{label:<10} {richnote:9.1f} {util:9.1f} {richnote / util:7.2f}")
+    aged_ratio = rows["aged"][0] / rows["aged"][1]
+    unaged_ratio = rows["no-aging"][0] / rows["no-aging"][1]
+    # Aging is what penalizes UTIL's days-late deliveries: without it the
+    # baseline closes (or inverts) the gap at starved budgets.
+    assert aged_ratio > unaged_ratio
+
+
+def test_bench_v_extremes(benchmark, workload, annotations, bench_users):
+    def run():
+        rows = {}
+        for v in (0.0, 1000.0):
+            config = ExperimentConfig(weekly_budget_mb=10.0, lyapunov_v=v)
+            result = run_experiment(
+                workload, MethodSpec(Method.RICHNOTE), config, annotations,
+                bench_users,
+            )
+            rows[v] = (
+                result.aggregate.total_utility,
+                result.aggregate.delivery_ratio,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("# Ablation: Lyapunov V extremes (10MB budget)")
+    print("V          total_utility  delivery")
+    for v, (utility, delivery) in rows.items():
+        print(f"{v:<10g} {utility:13.1f} {delivery:9.3f}")
+    # V=0 ignores utility (pure queue drain): still delivers, lower utility.
+    assert rows[0.0][1] > 0.9
+    assert rows[1000.0][0] >= rows[0.0][0]
+
+
+def test_bench_wifi_energy(benchmark, workload, annotations, bench_users):
+    """WiFi availability cuts download energy at equal budget.
+
+    Under the Markov WIFI/CELL/OFF model a third of connected rounds run
+    on WiFi (0.007 J/KB vs 3G's 0.025 J/KB), so the same delivered volume
+    costs less energy -- the opportunity the Lyapunov energy term and
+    prefetching literature (refs [14][15]) both exploit.
+    """
+    from repro.experiments.config import NetworkMode
+
+    def run():
+        rows = {}
+        for mode in (NetworkMode.CELL_ONLY, NetworkMode.MARKOV):
+            config = ExperimentConfig(weekly_budget_mb=20.0, network_mode=mode)
+            result = run_experiment(
+                workload, MethodSpec(Method.RICHNOTE), config, annotations,
+                bench_users,
+            )
+            rows[mode] = (
+                result.aggregate.delivered_mb,
+                result.aggregate.energy_kilojoules,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("# Ablation: connectivity mix vs download energy (20MB budget)")
+    print("mode        delivered_MB   energy_kJ   kJ/MB")
+    for mode, (delivered, energy) in rows.items():
+        print(f"{mode.value:<11} {delivered:>12.1f} {energy:>11.2f} "
+              f"{energy / delivered:>7.3f}")
+    cell_rate = rows[NetworkMode.CELL_ONLY][1] / rows[NetworkMode.CELL_ONLY][0]
+    markov_rate = rows[NetworkMode.MARKOV][1] / rows[NetworkMode.MARKOV][0]
+    assert markov_rate < cell_rate

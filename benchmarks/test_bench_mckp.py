@@ -1,0 +1,83 @@
+"""Benchmark/ablation: the greedy MCKP selector (Algorithm 1).
+
+Two claims from Section III-C / IV:
+
+* the greedy integral solution is within one upgrade's profit of the
+  optimum (verified against the exact DP on moderate instances);
+* the heuristic is fast -- O(n + k log n)-ish per round -- so per-round,
+  per-user selection scales (timed on a 2000-item instance).
+"""
+
+import random
+
+from repro.core.mckp import (
+    MckpInstance,
+    MckpItem,
+    fractional_upper_bound,
+    select_presentations,
+    solve_exact_dp,
+)
+from repro.core.presentations import build_audio_ladder
+
+
+def ladder_instance(n_items: int, budget: int, seed: int = 0) -> MckpInstance:
+    """Items with the paper's audio ladder scaled by random content utility."""
+    rng = random.Random(seed)
+    ladder = build_audio_ladder()
+    sizes = tuple(ladder.size(level) for level in range(ladder.max_level + 1))
+    items = []
+    for key in range(n_items):
+        content_utility = rng.random()
+        profits = tuple(
+            content_utility * ladder.utility(level)
+            for level in range(ladder.max_level + 1)
+        )
+        items.append(MckpItem(key=key, sizes=sizes, profits=profits))
+    return MckpInstance(items=tuple(items), budget=budget)
+
+
+def test_bench_mckp_greedy_speed(benchmark):
+    instance = ladder_instance(n_items=2000, budget=200_000_000, seed=1)
+    solution = benchmark(select_presentations, instance)
+    assert solution.total_size <= instance.budget
+    assert solution.total_profit > 0
+
+
+def test_bench_mckp_optimality_gap(benchmark):
+    """Greedy vs exact DP vs fractional bound on a scaled-down ladder."""
+
+    def run():
+        rows = []
+        for seed in range(5):
+            rng = random.Random(seed)
+            # Small byte units keep the DP tractable.
+            items = []
+            for key in range(12):
+                content_utility = rng.random()
+                sizes = (0, 2, 102, 202, 402, 602, 802)
+                base = build_audio_ladder()
+                profits = tuple(
+                    content_utility * base.utility(level) for level in range(7)
+                )
+                items.append(MckpItem(key=key, sizes=sizes, profits=profits))
+            instance = MckpInstance(items=tuple(items), budget=1500)
+            greedy = select_presentations(instance).total_profit
+            optimum = solve_exact_dp(instance).total_profit
+            bound = fractional_upper_bound(instance)
+            max_gain = max(
+                item.profits[level + 1] - item.profits[level]
+                for item in instance.items
+                for level in range(len(item.sizes) - 1)
+            )
+            rows.append((seed, greedy, optimum, bound, max_gain))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("# MCKP ablation: greedy vs exact DP vs fractional bound")
+    print("seed     greedy    optimum   LP-bound   gap%")
+    for seed, greedy, optimum, bound, max_gain in rows:
+        gap = 100.0 * (optimum - greedy) / optimum if optimum else 0.0
+        print(f"{seed:>4} {greedy:10.4f} {optimum:10.4f} {bound:10.4f} {gap:6.2f}")
+        assert greedy <= optimum + 1e-9 <= bound + 1e-6
+        assert greedy >= optimum - max_gain - 1e-9

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The deployed composition, live: publications -> broker -> schedulers.
+
+Unlike the figure benchmarks (which replay pre-labelled traces, as the
+paper's evaluation does), this example runs the whole system forward in
+simulated time:
+
+* a synthetic world (catalog + social graph) produces publications;
+* the topic broker matches and batches them per round -- optionally behind
+  the broker-side *satisfied-subscribers* capacity selector (the real-time
+  overload control of Setty et al., INFOCOM'14, which Section II cites as
+  the state of the art RichNote improves on);
+* a content-utility Random Forest trained on *yesterday's* logs scores
+  each notification online;
+* every user's RichNote scheduler selects presentation levels and delivers
+  under its own data plan, battery and connectivity.
+
+The run is repeated with a tight broker capacity to show the two layers
+interacting: upstream drops trade user-side delivery for broker load.
+
+Usage:  python examples/live_system.py
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.system import SystemConfig, SystemSimulation
+from repro.trace.entities import CatalogConfig, generate_catalog
+from repro.trace.generator import TraceConfig
+from repro.trace.socialgraph import SocialGraphConfig, generate_social_graph
+
+N_USERS = 20
+
+
+def run_once(catalog, graph, trace_config, broker_capacity):
+    simulation = SystemSimulation(
+        catalog,
+        graph,
+        trace_config,
+        SystemConfig(
+            experiment=ExperimentConfig(weekly_budget_mb=20.0, seed=8),
+            broker_capacity_per_round=broker_capacity,
+        ),
+    )
+    return simulation.run()
+
+
+def main() -> None:
+    print(f"Building a {N_USERS}-user world and training on yesterday's logs...")
+    catalog = generate_catalog(
+        CatalogConfig(n_users=N_USERS, n_artists=15, n_playlists=8, seed=3)
+    )
+    graph = generate_social_graph(SocialGraphConfig(n_users=N_USERS, seed=4))
+    trace_config = TraceConfig(duration_hours=48.0, listen_rate_scale=0.5, seed=8)
+
+    print("Running two simulated days, hourly rounds...\n")
+    header = (
+        f"{'broker cap':<12}{'matched':>9}{'dropped':>9}{'delivered':>11}"
+        f"{'delivery':>10}{'utility':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for capacity in (None, 20):
+        report = run_once(catalog, graph, trace_config, capacity)
+        agg = report.aggregate
+        label = "unlimited" if capacity is None else f"{capacity}/round"
+        print(
+            f"{label:<12}"
+            f"{report.notifications_matched:>9}"
+            f"{report.notifications_dropped_at_broker:>9}"
+            f"{len(report.deliveries):>11}"
+            f"{agg.delivery_ratio:>9.1%}"
+            f"{agg.total_utility:>9.1f}"
+        )
+    print(
+        "\nWith the broker capped, the satisfied-subscribers selector keeps"
+        "\nthe most users fully served but drops the overflow before it ever"
+        "\nreaches RichNote -- the per-user utility machinery can only"
+        "\noptimize what the broker lets through."
+    )
+
+
+if __name__ == "__main__":
+    main()

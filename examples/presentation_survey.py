@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The presentation-utility pipeline of Section V-B (Figure 2), end to end.
+
+1. Run the attribute-grid survey (4 sampling rates x 5 durations, rated
+   0-5) and prune dominated combinations with the skyline -- only the
+   "useful" presentations survive (Fig. 2a).
+2. Run the 80-user duration-stop survey, turn stop points into a utility
+   CDF, and fit the logarithmic (Eq. 8) and polynomial (Eq. 9) families
+   (Fig. 2b).
+3. Build the presentation ladder the scheduler actually uses from the
+   *fitted* curve, and show the per-level sizes/utilities.
+
+Usage:  python examples/presentation_survey.py
+"""
+
+from repro.core.presentations import AudioPresentationSpec, build_audio_ladder
+from repro.survey.fitting import evaluate_logarithmic, select_best_fit
+from repro.survey.pareto import pareto_frontier
+from repro.survey.synthesis import (
+    ratings_to_candidates,
+    synthesize_duration_survey,
+    synthesize_presentation_survey,
+)
+
+
+def main() -> None:
+    print("== Survey 1: attribute grid (Fig. 2a) ==")
+    ratings = synthesize_presentation_survey(n_respondents=120, seed=42)
+    frontier = pareto_frontier(ratings_to_candidates(ratings))
+    print(f"{len(ratings)} candidate presentations, "
+          f"{len(frontier)} useful after skyline pruning:")
+    for candidate in frontier:
+        rate, duration = candidate.attributes
+        print(f"  {rate:>2} kHz x {duration:>4.0f} s   "
+              f"{candidate.size_bytes / 1000:>8.0f} KB   "
+              f"rating {candidate.utility:.2f}/5")
+
+    print("\n== Survey 2: preferred preview duration (Fig. 2b) ==")
+    survey = synthesize_duration_survey(n_respondents=80, seed=42)
+    probes = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 39.0]
+    utilities = [max(u, 1e-6) for u in survey.utilities_at(probes)]
+    for duration, utility in zip(probes, utilities):
+        print(f"  util({duration:>4.0f}s) = {utility:.2f}")
+    best, other = select_best_fit(probes, utilities)
+    print(f"\n  best fit:  {best}")
+    print(f"  runner-up: {other}")
+    print("  paper:     logarithmic(-0.397, 0.352) wins")
+
+    print("\n== The ladder the scheduler uses ==")
+    a, b = best.params
+    spec = AudioPresentationSpec(
+        duration_utility=lambda d: max(0.0, evaluate_logarithmic((a, b), d))
+    )
+    ladder = build_audio_ladder(spec)
+    for presentation in ladder:
+        print(f"  L{presentation.level}  {presentation.description:<28}"
+              f"{presentation.size_bytes:>9,} B   "
+              f"U_p = {presentation.utility:.3f}")
+    print(
+        "\nThe survey-fitted curve feeds straight into the ladder: each"
+        "\nd-second preview is 20 KB/s at Spotify's 160 kbps bitrate, and"
+        "\nutilities are normalized so the richest level scores 1.0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Driving the core API directly: broker -> scheduler, no harness.
+
+Shows the pieces a downstream integrator would wire together:
+
+* a topic-based broker with per-kind delivery modes (friend feeds in
+  real time, album releases round-based -- Section II's hybrid engine);
+* hand-built content items with the audio presentation ladder;
+* one user's RichNoteScheduler stepped round by round, watching it adapt
+  the presentation level as the data budget tightens and recovers.
+
+Usage:  python examples/pubsub_broker.py
+"""
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem, ContentKind
+from repro.core.lyapunov import LyapunovConfig
+from repro.core.presentations import build_audio_ladder
+from repro.core.scheduler import RichNoteScheduler
+from repro.pubsub.broker import Broker, DeliveryMode
+from repro.pubsub.subscriptions import SubscriptionStore
+from repro.pubsub.topics import Publication, Topic, TopicKind
+from repro.sim.battery import BatterySample, BatteryTrace
+from repro.sim.device import MobileDevice
+from repro.sim.network import CellularOnlyNetwork
+
+ALICE, BOB, CAROL = 1, 2, 3
+ROUND = 3600.0
+
+
+def build_broker() -> tuple[Broker, list]:
+    subscriptions = SubscriptionStore()
+    # Alice follows Bob's feed, Carol's feed and artist 7's page.
+    subscriptions.subscribe(ALICE, Topic(TopicKind.FRIEND, BOB))
+    subscriptions.subscribe(ALICE, Topic(TopicKind.FRIEND, CAROL))
+    subscriptions.subscribe(ALICE, Topic(TopicKind.ARTIST, 7))
+    broker = Broker(
+        subscriptions,
+        default_mode=DeliveryMode.ROUND,
+        mode_overrides={TopicKind.FRIEND: DeliveryMode.REALTIME},
+    )
+    inbox: list = []
+    broker.add_sink(inbox.append)
+    return broker, inbox
+
+
+def main() -> None:
+    broker, inbox = build_broker()
+
+    print("Publishing: Bob streams a track (realtime), artist 7 drops an")
+    print("album (round-based), Carol streams two tracks (realtime)...\n")
+    broker.publish(Publication(Topic(TopicKind.FRIEND, BOB), BOB, 10.0,
+                               {"track_id": 100}))
+    broker.publish(Publication(Topic(TopicKind.ARTIST, 7), 7, 20.0,
+                               {"track_id": 200}))
+    broker.publish(Publication(Topic(TopicKind.FRIEND, CAROL), CAROL, 30.0,
+                               {"track_id": 300}))
+    broker.publish(Publication(Topic(TopicKind.FRIEND, CAROL), CAROL, 40.0,
+                               {"track_id": 301}))
+    print(f"  delivered immediately (realtime friend feeds): {len(inbox)}")
+    print(f"  held for the next round (album release):       "
+          f"{broker.pending_count}")
+    broker.flush()
+    print(f"  after round flush: {len(inbox)} notifications total\n")
+
+    # -- feed Alice's notifications into her RichNote scheduler -------------
+    ladder = build_audio_ladder()
+    device = MobileDevice(
+        user_id=ALICE,
+        network=CellularOnlyNetwork(),
+        battery=BatteryTrace([BatterySample(0.0, 0.9, charging=False)]),
+    )
+    scheduler = RichNoteScheduler(
+        device=device,
+        data_budget=DataBudget(theta_bytes=150_000.0),  # ~150 KB per round
+        energy_budget=EnergyBudget(kappa_joules=3000.0),
+        lyapunov=LyapunovConfig(v=1000.0, kappa_joules=3000.0),
+    )
+
+    # Content utility would come from the classifier; here we hand-assign.
+    interest = {100: 0.9, 200: 0.6, 300: 0.3, 301: 0.15}
+    for notification in inbox:
+        track = notification.publication.payload["track_id"]
+        scheduler.enqueue(
+            ContentItem(
+                item_id=notification.notification_id,
+                user_id=ALICE,
+                kind=ContentKind.FRIEND_FEED,
+                created_at=notification.timestamp,
+                ladder=ladder,
+                content_utility=interest[track],
+                metadata={"track_id": track},
+            )
+        )
+
+    print("Round-by-round delivery under a 150 KB/round budget:")
+    for round_index in range(1, 4):
+        result = scheduler.run_round(round_index * ROUND, ROUND)
+        deliveries = ", ".join(
+            f"item{d.item.item_id}@L{d.level}({d.size_bytes / 1000:.1f}KB)"
+            for d in result.deliveries
+        ) or "(nothing)"
+        print(f"  round {round_index}: {deliveries}  "
+              f"budget left {result.data_budget_after / 1000:.0f}KB  "
+              f"queue {result.queue_length_after}")
+    print(
+        "\nThe high-interest track got a preview; low-interest ones went out"
+        "\nas metadata -- and everything was delivered within the budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a workload, learn utility, schedule rich notifications.
+
+Runs the whole RichNote pipeline end to end on a small synthetic
+Spotify-like workload:
+
+1. synthesize a catalog, social graph and one week of notification trace;
+2. train the Random Forest content-utility model on click/hover labels;
+3. replay each user's notification stream through the RichNote scheduler
+   and the FIFO/UTIL baselines under a 10 MB/week data plan;
+4. print the headline comparison.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.runner import UtilityAnnotations, run_experiment
+from repro.experiments.workloads import eval_workload
+
+
+def main() -> None:
+    print("Generating synthetic Spotify-like workload (30 users, 48 h)...")
+    workload = eval_workload("small")
+    print(f"  {len(workload.records)} notifications fanned out through the broker")
+    clicked = sum(1 for r in workload.records if r.clicked)
+    print(f"  {clicked} clicked, "
+          f"{sum(1 for r in workload.records if r.hovered)} attended\n")
+
+    print("Training the content-utility classifier (clicked vs hovered)...")
+    annotations = UtilityAnnotations.train(
+        workload, seed=7, run_cross_validation=True
+    )
+    print(f"  5-fold CV: {annotations.cross_validation.summary()}\n")
+
+    config = ExperimentConfig(weekly_budget_mb=10.0, seed=7)
+    users = workload.top_users(10)
+    print(f"Scheduling for the top {len(users)} users at "
+          f"{config.weekly_budget_mb:g} MB/week...\n")
+
+    header = (
+        f"{'method':<12}{'delivery':>10}{'recall':>9}{'precision':>11}"
+        f"{'utility':>10}{'delay':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in (
+        MethodSpec(Method.RICHNOTE),
+        MethodSpec(Method.FIFO, fixed_level=3),
+        MethodSpec(Method.UTIL, fixed_level=3),
+    ):
+        result = run_experiment(workload, spec, config, annotations, users)
+        agg = result.aggregate
+        print(
+            f"{spec.label:<12}"
+            f"{agg.delivery_ratio:>9.1%}"
+            f"{agg.recall:>9.2f}"
+            f"{agg.precision:>11.2f}"
+            f"{agg.total_utility:>10.1f}"
+            f"{agg.mean_queuing_delay_s / 3600:>9.1f}h"
+        )
+    print(
+        "\nRichNote adapts presentation levels to the budget: it delivers"
+        "\n~100% of notifications (degrading to metadata when starved) while"
+        "\nthe fixed-level baselines backlog for hours."
+    )
+
+
+if __name__ == "__main__":
+    main()

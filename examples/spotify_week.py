@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A full paper-style evaluation week: the Figures 3-5 budget sweep.
+
+Reproduces the evaluation of Section V on the calibrated "medium"
+workload: one simulated week, RichNote vs FIFO/UTIL at fixed 5 s / 10 s
+presentation levels, weekly budgets from 1 to 100 MB, plus RichNote's
+presentation-mix adaptation (Fig. 5b).
+
+Usage:  python examples/spotify_week.py [--budgets 1,5,20,100] [--users 15]
+"""
+
+import argparse
+
+from repro.experiments.figures import figure3_and_4, figure5b_presentation_mix
+from repro.experiments.reporting import (
+    render_ascii_chart,
+    render_level_mix,
+    render_series_table,
+)
+from repro.experiments.runner import UtilityAnnotations
+from repro.experiments.workloads import eval_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budgets",
+        default="1,2,5,10,20,50,100",
+        help="comma-separated weekly budgets in MB",
+    )
+    parser.add_argument(
+        "--users", type=int, default=15, help="how many top users to simulate"
+    )
+    args = parser.parse_args()
+    budgets = tuple(float(b) for b in args.budgets.split(","))
+
+    print("Building one simulated week of Spotify-like notifications...")
+    workload = eval_workload("medium")
+    users = workload.top_users(args.users)
+    per_user = sum(len(workload.records_for_user(u)) for u in users) / len(users)
+    print(f"  top {len(users)} users, ~{per_user:.0f} notifications each\n")
+
+    print("Training the content-utility model...")
+    annotations = UtilityAnnotations.train(workload, seed=11)
+
+    print(f"Sweeping budgets {budgets} MB/week x 5 methods "
+          f"(this replays every round for every user)...\n")
+    figs = figure3_and_4(
+        workload, budgets, annotations=annotations, user_ids=users
+    )
+    for name, title in (
+        ("fig3a_delivery_ratio", "Fig 3(a) delivery ratio"),
+        ("fig3c_recall", "Fig 3(c) recall"),
+        ("fig3d_precision", "Fig 3(d) precision"),
+        ("fig4a_total_utility", "Fig 4(a) total delivered utility"),
+        ("fig4d_delay_s", "Fig 4(d) mean queuing delay (s)"),
+    ):
+        print(f"== {title} ==")
+        print(render_series_table(figs[name], precision=2))
+        print()
+
+    if len(budgets) >= 2:
+        print("== Fig 4(a) as a chart ==")
+        print(render_ascii_chart(figs["fig4a_total_utility"]))
+        print()
+
+    print("== Fig 5(b) RichNote presentation mix (fraction per level) ==")
+    mix = figure5b_presentation_mix(
+        workload, budgets, annotations=annotations, user_ids=users
+    )
+    print(render_level_mix(mix))
+    print(
+        "\nReading the mix: L1 = metadata only; L2..L6 = 5/10/20/30/40 s"
+        "\npreviews.  As the budget grows RichNote shifts deliveries toward"
+        "\nricher presentations, which is where its utility lead comes from."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work offline (no `wheel` package).
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / ``pip install -e .`` on environments whose
+setuptools predates bundled bdist_wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""Baseline schedulers: FIFO and UTIL at a fixed presentation level.
+
+Section V-C: "we use two baselines: (1) FIFO that delivers notifications in
+the order of their delivery timestamps in the trace, and (2) UTIL that
+delivers notifications in decreasing order of utility score ... for both
+baseline approaches we need to fix the presentation level to mimic
+state-of-the-art techniques."  (Spotify uses FIFO in real-time mode and a
+UTIL-like strategy in batch mode.)
+
+Both baselines reuse the round machinery of
+:class:`repro.core.scheduler.RoundBasedScheduler`: budgets replenish and
+roll over identically; the only difference is the selection rule --
+greedily take items in policy order, always at the fixed level, while the
+remaining round budget affords them.  An item whose fixed presentation does
+not fit is *skipped for this round but stays queued* (head-of-line items
+larger than the leftover budget simply wait for rollover, which is what a
+fixed-level pipeline does in practice).
+"""
+
+from __future__ import annotations
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem
+from repro.core.scheduler import RoundBasedScheduler
+from repro.core.utility import CombinedUtilityModel
+from repro.sim.device import MobileDevice
+
+
+class FixedLevelScheduler(RoundBasedScheduler):
+    """Common base: deliver at ``fixed_level`` in a policy-defined order."""
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        data_budget: DataBudget,
+        energy_budget: EnergyBudget,
+        fixed_level: int,
+        utility_model: CombinedUtilityModel | None = None,
+        ttl_seconds: float | None = None,
+    ) -> None:
+        super().__init__(
+            device, data_budget, energy_budget, utility_model, ttl_seconds
+        )
+        if fixed_level < 1:
+            raise ValueError("fixed level must be >= 1 (level 0 sends nothing)")
+        self.fixed_level = fixed_level
+
+    def _ordered_queue(self, now: float) -> list[ContentItem]:
+        raise NotImplementedError
+
+    def _level_for(self, item: ContentItem) -> int:
+        """Clamp the fixed level to the item's ladder."""
+        return min(self.fixed_level, item.ladder.max_level)
+
+    def _select(
+        self, now: float, effective_budget: int
+    ) -> list[tuple[ContentItem, int]]:
+        remaining = effective_budget
+        chosen: list[tuple[ContentItem, int]] = []
+        for item in self._ordered_queue(now):
+            level = self._level_for(item)
+            size = item.ladder.size(level)
+            if size <= remaining:
+                chosen.append((item, level))
+                remaining -= size
+        return chosen
+
+
+class FifoScheduler(FixedLevelScheduler):
+    """FIFO: oldest arrival first, fixed presentation level."""
+
+    def _ordered_queue(self, now: float) -> list[ContentItem]:
+        del now
+        return sorted(self._scheduling, key=lambda item: item.created_at)
+
+
+class UtilScheduler(FixedLevelScheduler):
+    """UTIL: highest combined utility first, fixed presentation level."""
+
+    def _ordered_queue(self, now: float) -> list[ContentItem]:
+        return sorted(
+            self._scheduling,
+            key=lambda item: self.utility_model.utility(
+                item, self._level_for(item), now
+            ),
+            reverse=True,
+        )

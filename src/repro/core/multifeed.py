@@ -1,0 +1,117 @@
+"""Per-feed round cadences (Section II's round-based model).
+
+"RichNote incorporates a round-based model for notification delivery where
+notifications are analyzed, selected and delivered in discrete time frames
+called rounds -- this provides a middle-ground between the real-time and
+batch modes and allows us to tune time duration of each round proportional
+to the frequency of the feed.  For example, friend feeds can be delivered
+every few minutes whereas notifications related to artist and playlists can
+be delivered in every few hours."
+
+:class:`MultiFeedScheduler` composes with any round-based scheduler: items
+are held in per-kind release buffers and only become schedulable when their
+feed's cadence ticks.  The underlying scheduler runs at the *base* period
+(the finest cadence), so friend-feed items flow through every base round
+while album/playlist items batch up and enter together at their coarser
+cadence -- exactly the analyze-select-deliver batching the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.content import ContentItem, ContentKind
+from repro.core.scheduler import RoundBasedScheduler, RoundResult
+
+
+@dataclass(frozen=True)
+class FeedCadences:
+    """Round period per publication kind, seconds.
+
+    Defaults follow the paper's example: friend feeds every few minutes,
+    artist/playlist feeds every few hours.  Every period must be an integer
+    multiple of the base period.
+    """
+
+    base_period: float = 300.0  # 5 minutes
+    periods: dict[ContentKind, float] = field(
+        default_factory=lambda: {
+            ContentKind.FRIEND_FEED: 300.0,  # few minutes
+            ContentKind.ALBUM_RELEASE: 4 * 3600.0,  # few hours
+            ContentKind.PLAYLIST_UPDATE: 4 * 3600.0,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if self.base_period <= 0:
+            raise ValueError("base period must be positive")
+        for kind in ContentKind:
+            if kind not in self.periods:
+                raise ValueError(f"missing cadence for {kind}")
+        for kind, period in self.periods.items():
+            ratio = period / self.base_period
+            if period <= 0 or abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+                raise ValueError(
+                    f"cadence for {kind} ({period}s) must be a positive "
+                    f"integer multiple of the base period ({self.base_period}s)"
+                )
+
+    def ticks_per_release(self, kind: ContentKind) -> int:
+        return round(self.periods[kind] / self.base_period)
+
+
+class MultiFeedScheduler:
+    """Gates items into a round-based scheduler on per-feed cadences.
+
+    The wrapped scheduler's own round period must equal the base cadence;
+    callers drive :meth:`run_round` once per base period, and this wrapper
+    releases each feed's buffered items when that feed's cadence boundary
+    is crossed.
+    """
+
+    def __init__(
+        self,
+        scheduler: RoundBasedScheduler,
+        cadences: FeedCadences | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.cadences = cadences or FeedCadences()
+        self._buffers: dict[ContentKind, list[ContentItem]] = {
+            kind: [] for kind in ContentKind
+        }
+        self._ticks = 0
+
+    def enqueue(self, item: ContentItem) -> None:
+        """Buffer an item until its feed's next cadence boundary."""
+        self._buffers[item.kind].append(item)
+
+    def buffered(self, kind: ContentKind) -> int:
+        return len(self._buffers[kind])
+
+    @property
+    def pending_items(self) -> int:
+        held = sum(len(buffer) for buffer in self._buffers.values())
+        return held + self.scheduler.pending_items
+
+    def run_round(self, now: float, round_seconds: float | None = None) -> RoundResult:
+        """One base-period round: release due feeds, then schedule.
+
+        ``round_seconds`` defaults to the base period and must equal it --
+        the wrapper owns the cadence arithmetic.
+        """
+        period = self.cadences.base_period
+        if round_seconds is not None and not math.isclose(round_seconds, period):
+            raise ValueError(
+                f"multi-feed rounds run at the base period ({period}s); "
+                f"got {round_seconds}s"
+            )
+        self._ticks += 1
+        for kind, buffer in self._buffers.items():
+            if not buffer:
+                continue
+            if self._ticks % self.cadences.ticks_per_release(kind) == 0:
+                for item in buffer:
+                    self.scheduler.enqueue(item)
+                self._buffers[kind] = []
+        return self.scheduler.run_round(now, period)

@@ -1,0 +1,28 @@
+"""Trace-driven evaluation harness regenerating the paper's figures."""
+
+from repro.experiments.config import (
+    PAPER_BASELINE_LEVELS,
+    PAPER_BUDGET_SWEEP_MB,
+    ExperimentConfig,
+    Method,
+    MethodSpec,
+    NetworkMode,
+)
+from repro.experiments.adapters import record_to_item
+from repro.experiments.metrics import AggregateMetrics, UserMetrics, aggregate, compute_user_metrics
+from repro.experiments.parallel import run_experiment_parallel
+from repro.experiments.runner import (
+    ExperimentResult,
+    UtilityAnnotations,
+    run_experiment,
+    run_user,
+    sweep_budgets,
+)
+from repro.experiments.system import SystemConfig, SystemReport, SystemSimulation
+from repro.experiments.confidence import (
+    MetricSummary,
+    ReplicatedResult,
+    compare_replicated,
+    dominates_across_seeds,
+    replicate_experiment,
+)

@@ -1,0 +1,49 @@
+"""Adapters between trace records and scheduler content items."""
+
+from __future__ import annotations
+
+from repro.core.content import ContentItem, ContentKind, PresentationLadder
+from repro.pubsub.topics import TopicKind
+from repro.trace.records import NotificationRecord
+
+_KIND_MAP = {
+    TopicKind.FRIEND: ContentKind.FRIEND_FEED,
+    TopicKind.ARTIST: ContentKind.ALBUM_RELEASE,
+    TopicKind.PLAYLIST: ContentKind.PLAYLIST_UPDATE,
+}
+
+
+def record_to_item(
+    record: NotificationRecord, ladder: PresentationLadder
+) -> ContentItem:
+    """Wrap a trace record as a schedulable content item.
+
+    The record's feature fields are copied into ``item.metadata`` so the
+    serving-time feature extractor
+    (:meth:`repro.ml.dataset.FeatureExtractor.features_for_item`) can
+    rebuild the exact training vector.  Ground-truth labels travel along
+    for evaluation only.
+    """
+    return ContentItem(
+        item_id=record.notification_id,
+        user_id=record.recipient_id,
+        kind=_KIND_MAP[record.kind],
+        created_at=record.timestamp,
+        ladder=ladder,
+        clicked=record.clicked,
+        click_time=record.click_time,
+        metadata={
+            "kind": record.kind.value,
+            "sender_id": record.sender_id,
+            "track_id": record.track_id,
+            "album_id": record.album_id,
+            "artist_id": record.artist_id,
+            "track_popularity": record.track_popularity,
+            "album_popularity": record.album_popularity,
+            "artist_popularity": record.artist_popularity,
+            "tie_strength": record.tie_strength,
+            "is_friend": record.is_friend,
+            "favorite_genre": record.favorite_genre,
+            "hovered": record.hovered,
+        },
+    )

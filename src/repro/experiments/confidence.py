@@ -1,0 +1,136 @@
+"""Multi-seed replication: mean +- deviation for experiment metrics.
+
+The paper reports single-trace numbers with error bars only across users
+(Fig. 5d).  For a synthetic-workload reproduction the honest error bar is
+across *worlds*: regenerate the workload under different seeds, rerun the
+cell, and summarize each metric's spread.  This module provides that
+replication harness; the headline claims should hold for every replicate,
+not just the seed the benches pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, MethodSpec
+from repro.experiments.runner import UtilityAnnotations, run_experiment
+from repro.experiments.workloads import eval_workload
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, sample deviation and range of one metric across replicates."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.name}: {self.mean:.3f} +- {self.std:.3f}"
+
+
+@dataclass
+class ReplicatedResult:
+    """One (method, config) cell replicated over workload seeds."""
+
+    label: str
+    seeds: tuple[int, ...]
+    metrics: dict[str, MetricSummary] = field(default_factory=dict)
+
+    def summary_table(self) -> str:
+        lines = [
+            f"# {self.label} over seeds {list(self.seeds)}",
+            f"{'metric':<18}{'mean':>10}{'std':>10}{'min':>10}{'max':>10}",
+        ]
+        for summary in self.metrics.values():
+            lines.append(
+                f"{summary.name:<18}"
+                f"{summary.mean:>10.3f}{summary.std:>10.3f}"
+                f"{summary.minimum:>10.3f}{summary.maximum:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+def replicate_experiment(
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    preset: str = "small",
+    top_users: int = 10,
+) -> ReplicatedResult:
+    """Rerun one cell over freshly generated workloads, one per seed.
+
+    Each replicate regenerates the entire world (catalog, graph, trace and
+    interactions) and retrains the content-utility classifier, so the
+    spread covers every stochastic component at once.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rows: list[dict[str, float]] = []
+    for seed in seeds:
+        workload = eval_workload(preset, seed=seed)
+        annotations = UtilityAnnotations.train(workload, seed=seed)
+        users = workload.top_users(top_users)
+        result = run_experiment(workload, spec, config, annotations, users)
+        rows.append(result.aggregate.row())
+    metric_names = rows[0].keys()
+    summaries = {
+        name: MetricSummary(
+            name=name, values=tuple(row[name] for row in rows)
+        )
+        for name in metric_names
+    }
+    return ReplicatedResult(
+        label=spec.label, seeds=tuple(seeds), metrics=summaries
+    )
+
+
+def compare_replicated(
+    specs: Sequence[MethodSpec],
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    metric: str = "total_utility",
+    preset: str = "small",
+    top_users: int = 10,
+) -> dict[str, MetricSummary]:
+    """Replicate several policies and return one metric's summaries.
+
+    A claim like "RichNote beats UTIL" is *replication-robust* when the
+    winner's minimum exceeds the loser's maximum across seeds -- the bench
+    helper :func:`dominates_across_seeds` checks exactly that.
+    """
+    return {
+        spec.label: replicate_experiment(
+            spec, config, seeds, preset, top_users
+        ).metrics[metric]
+        for spec in specs
+    }
+
+
+def dominates_across_seeds(
+    winner: MetricSummary, loser: MetricSummary
+) -> bool:
+    """Seed-robust dominance: winner's worst replicate beats loser's best."""
+    return winner.minimum > loser.maximum

@@ -1,0 +1,172 @@
+"""Evaluation metrics of Section V-C.
+
+Definitions (quoting the paper):
+
+* **Delivery ratio** -- "the fraction of notifications delivered";
+* **Precision** -- "the fraction of delivered notifications (before the
+  recorded click time in the Spotify trace) that are clicked on by the
+  users";
+* **Recall** -- "the fraction of total clicked notifications that are
+  delivered to the users";
+* **Average utility** -- "average utility of delivered notifications ...
+  computed using Equation 1";
+* **Download energy** -- "energy spent in downloading notifications based
+  on the energy model from [9]";
+* **Queuing delay** -- "the time between when a notification arrives in
+  the broker and when it is delivered".
+
+Unless stated otherwise, values are averaged across users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.scheduler import Delivery
+from repro.trace.records import NotificationRecord
+
+
+@dataclass(frozen=True)
+class UserMetrics:
+    """Metrics of one user's simulation run."""
+
+    user_id: int
+    total_notifications: int
+    delivered_notifications: int
+    delivered_bytes: float
+    clicked_total: int
+    clicked_delivered_in_time: int
+    total_utility: float
+    clicked_utility: float
+    energy_joules: float
+    mean_queuing_delay_s: float
+    level_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.total_notifications == 0:
+            return 0.0
+        return self.delivered_notifications / self.total_notifications
+
+    @property
+    def precision(self) -> float:
+        if self.delivered_notifications == 0:
+            return 0.0
+        return self.clicked_delivered_in_time / self.delivered_notifications
+
+    @property
+    def recall(self) -> float:
+        if self.clicked_total == 0:
+            return 0.0
+        return self.clicked_delivered_in_time / self.clicked_total
+
+    @property
+    def average_utility(self) -> float:
+        if self.delivered_notifications == 0:
+            return 0.0
+        return self.total_utility / self.delivered_notifications
+
+
+def compute_user_metrics(
+    user_id: int,
+    records: Sequence[NotificationRecord],
+    deliveries: Sequence[Delivery],
+) -> UserMetrics:
+    """Join a user's trace with their realized deliveries."""
+    clicked_total = sum(1 for r in records if r.clicked)
+    delivered = len(deliveries)
+    bytes_delivered = float(sum(d.size_bytes for d in deliveries))
+    energy = sum(d.energy_joules for d in deliveries)
+    total_utility = sum(d.utility for d in deliveries)
+
+    in_time_clicks = 0
+    clicked_utility = 0.0
+    delays: list[float] = []
+    histogram: dict[int, int] = {}
+    for delivery in deliveries:
+        item = delivery.item
+        delays.append(max(0.0, delivery.time - item.created_at))
+        histogram[delivery.level] = histogram.get(delivery.level, 0) + 1
+        if item.clicked:
+            clicked_utility += delivery.utility
+            if item.click_time is not None and delivery.time <= item.click_time:
+                in_time_clicks += 1
+    return UserMetrics(
+        user_id=user_id,
+        total_notifications=len(records),
+        delivered_notifications=delivered,
+        delivered_bytes=bytes_delivered,
+        clicked_total=clicked_total,
+        clicked_delivered_in_time=in_time_clicks,
+        total_utility=total_utility,
+        clicked_utility=clicked_utility,
+        energy_joules=energy,
+        mean_queuing_delay_s=(sum(delays) / len(delays)) if delays else 0.0,
+        level_histogram=histogram,
+    )
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Cross-user aggregation of one (method, configuration) cell."""
+
+    users: int
+    delivery_ratio: float
+    precision: float
+    recall: float
+    average_utility: float
+    total_utility: float
+    clicked_utility: float
+    delivered_mb: float
+    energy_kilojoules: float
+    mean_queuing_delay_s: float
+    level_mix: dict[int, float] = field(default_factory=dict)
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "delivery_ratio": self.delivery_ratio,
+            "precision": self.precision,
+            "recall": self.recall,
+            "avg_utility": self.average_utility,
+            "total_utility": self.total_utility,
+            "clicked_utility": self.clicked_utility,
+            "delivered_mb": self.delivered_mb,
+            "energy_kj": self.energy_kilojoules,
+            "delay_s": self.mean_queuing_delay_s,
+        }
+
+
+def aggregate(per_user: Sequence[UserMetrics]) -> AggregateMetrics:
+    """Average ratio metrics across users; sum volume metrics.
+
+    Matches the paper's reporting: ratio-style metrics (delivery ratio,
+    precision, recall, delay) are per-user averages; utility, bytes and
+    energy are totals across the user base (Fig. 3b/4a/4c).
+    """
+    if not per_user:
+        raise ValueError("no user metrics to aggregate")
+    n = len(per_user)
+    level_counts: dict[int, int] = {}
+    total_deliveries = 0
+    for user in per_user:
+        for level, count in user.level_histogram.items():
+            level_counts[level] = level_counts.get(level, 0) + count
+            total_deliveries += count
+    level_mix = {
+        level: count / total_deliveries for level, count in sorted(level_counts.items())
+    } if total_deliveries else {}
+    return AggregateMetrics(
+        users=n,
+        delivery_ratio=sum(u.delivery_ratio for u in per_user) / n,
+        precision=sum(u.precision for u in per_user) / n,
+        recall=sum(u.recall for u in per_user) / n,
+        average_utility=sum(u.average_utility for u in per_user) / n,
+        total_utility=sum(u.total_utility for u in per_user),
+        clicked_utility=sum(u.clicked_utility for u in per_user),
+        delivered_mb=sum(u.delivered_bytes for u in per_user) / 1e6,
+        energy_kilojoules=sum(u.energy_joules for u in per_user) / 1e3,
+        mean_queuing_delay_s=sum(u.mean_queuing_delay_s for u in per_user) / n,
+        level_mix=level_mix,
+    )

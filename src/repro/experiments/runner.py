@@ -1,0 +1,314 @@
+"""Trace-driven simulation runner (Section V-C's experimental loop).
+
+For each user, the runner replays all notifications intended for them "as a
+stream of content items arriving at our scheduling and delivery system",
+drives the round-based scheduler through the discrete-event simulator, and
+joins the realized deliveries with the trace's ground-truth clicks to
+produce the Section V-C metrics.
+
+Content utility is annotated up front: a Random Forest is trained on the
+workload's attended (clicked-vs-hovered) records and every notification is
+scored once -- the score map is then shared by all (method, budget) cells
+of a sweep, exactly as a deployed model would be.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.baselines import FifoScheduler, UtilScheduler
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.lyapunov import LyapunovConfig
+from repro.core.presentations import build_audio_ladder
+from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler
+from repro.core.utility import CombinedUtilityModel, ExponentialAging
+from repro.experiments.adapters import record_to_item
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec, NetworkMode
+from repro.experiments.metrics import (
+    AggregateMetrics,
+    UserMetrics,
+    aggregate,
+    compute_user_metrics,
+)
+from repro.ml.crossval import CrossValResult, cross_validate
+from repro.ml.dataset import FeatureExtractor, build_training_set
+from repro.ml.forest import RandomForestClassifier
+from repro.sim.battery import DiurnalBatteryModel
+from repro.sim.device import MobileDevice
+from repro.sim.energy import TransferEnergyModel
+from repro.sim.engine import Simulator
+from repro.sim.network import CellularOnlyNetwork, MarkovNetworkModel
+from repro.trace.generator import Workload
+from repro.trace.records import NotificationRecord
+
+
+def _forest_factory(seed: int):
+    """The content-utility classifier configuration (speed-tuned RF)."""
+    return RandomForestClassifier(
+        n_estimators=15,
+        max_depth=8,
+        min_samples_leaf=5,
+        max_features="sqrt",
+        random_state=seed,
+    )
+
+
+@dataclass
+class UtilityAnnotations:
+    """Per-notification content-utility scores plus classifier diagnostics."""
+
+    scores: dict[int, float]
+    cross_validation: CrossValResult | None = None
+
+    @classmethod
+    def train(
+        cls,
+        workload: Workload,
+        seed: int = 97,
+        max_training_samples: int = 8000,
+        run_cross_validation: bool = False,
+        oracle: bool = False,
+    ) -> "UtilityAnnotations":
+        """Train on attended records and score every record in the workload.
+
+        ``oracle=True`` bypasses learning and scores from ground truth
+        (ablation: perfect content utility).
+        """
+        if oracle:
+            scores = {
+                r.notification_id: (0.9 if r.clicked else 0.1)
+                for r in workload.records
+            }
+            return cls(scores=scores)
+
+        extractor = FeatureExtractor()
+        x, y = build_training_set(workload.records, extractor)
+        if len(x) > max_training_samples:
+            rng = np.random.default_rng(seed)
+            keep = rng.choice(len(x), size=max_training_samples, replace=False)
+            x, y = x[keep], y[keep]
+
+        cv = None
+        if run_cross_validation:
+            cv = cross_validate(
+                lambda: _forest_factory(seed), x, y, n_folds=5, random_state=seed
+            )
+
+        forest = _forest_factory(seed).fit(x, y)
+        all_features = np.asarray(
+            [extractor.features_for_record(r) for r in workload.records], dtype=float
+        )
+        probabilities = forest.predict_proba(all_features)[:, 1]
+        scores = {
+            record.notification_id: float(p)
+            for record, p in zip(workload.records, probabilities)
+        }
+        return cls(scores=scores, cross_validation=cv)
+
+
+@dataclass
+class UserRunOutcome:
+    """One user's metrics plus queue-stability diagnostics."""
+
+    metrics: UserMetrics
+    mean_backlog_bytes: float
+    max_queue_length: int
+    final_queue_length: int
+
+
+@dataclass
+class ExperimentResult:
+    """One (method, configuration) cell of an experiment grid."""
+
+    spec: MethodSpec
+    config: ExperimentConfig
+    aggregate: AggregateMetrics
+    per_user: list[UserRunOutcome] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def mean_backlog_bytes(self) -> float:
+        if not self.per_user:
+            return 0.0
+        return sum(u.mean_backlog_bytes for u in self.per_user) / len(self.per_user)
+
+
+def _build_scheduler(
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    device: MobileDevice,
+    utility_model: CombinedUtilityModel,
+) -> RoundBasedScheduler:
+    data_budget = DataBudget(theta_bytes=config.theta_bytes_per_round)
+    energy_budget = EnergyBudget(kappa_joules=config.kappa_joules_per_round)
+    if spec.method is Method.RICHNOTE:
+        return RichNoteScheduler(
+            device,
+            data_budget,
+            energy_budget,
+            utility_model,
+            lyapunov=LyapunovConfig(
+                v=config.lyapunov_v,
+                kappa_joules=config.kappa_joules_per_round,
+            ),
+        )
+    scheduler_cls = FifoScheduler if spec.method is Method.FIFO else UtilScheduler
+    return scheduler_cls(
+        device,
+        data_budget,
+        energy_budget,
+        fixed_level=spec.fixed_level,
+        utility_model=utility_model,
+    )
+
+
+def _build_device(
+    user_id: int, config: ExperimentConfig, duration_seconds: float
+) -> MobileDevice:
+    seed = hash((config.seed, user_id)) & 0x7FFFFFFF
+    if config.network_mode is NetworkMode.MARKOV:
+        network = MarkovNetworkModel(rng=random.Random(seed))
+    else:
+        network = CellularOnlyNetwork()
+    battery = DiurnalBatteryModel(rng=random.Random(seed + 1)).generate(
+        duration_seconds + config.round_seconds,
+        sample_period_seconds=config.round_seconds,
+    )
+    return MobileDevice(
+        user_id=user_id,
+        network=network,
+        battery=battery,
+        energy_model=TransferEnergyModel(),
+        expected_batch=config.expected_batch,
+    )
+
+
+def run_user(
+    user_id: int,
+    records: Sequence[NotificationRecord],
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations,
+    duration_seconds: float,
+) -> UserRunOutcome:
+    """Replay one user's notification stream under one policy."""
+    ladder = build_audio_ladder(config.presentation_spec)
+    items = []
+    for record in records:
+        item = record_to_item(record, ladder)
+        item.content_utility = annotations.scores[record.notification_id]
+        items.append(item)
+
+    device = _build_device(user_id, config, duration_seconds)
+    aging = (
+        ExponentialAging(config.aging_tau_seconds)
+        if config.aging_tau_seconds
+        else None
+    )
+    utility_model = CombinedUtilityModel(aging=aging)
+    scheduler = _build_scheduler(spec, config, device, utility_model)
+    front = scheduler
+    if config.feed_cadences is not None:
+        from repro.core.multifeed import MultiFeedScheduler
+
+        front = MultiFeedScheduler(scheduler, config.feed_cadences)
+
+    deliveries: list[Delivery] = []
+    backlog_samples: list[float] = []
+    queue_samples: list[int] = []
+
+    simulator = Simulator()
+    for item in items:
+        simulator.schedule_at(item.created_at, lambda sim, it=item: front.enqueue(it))
+
+    def round_tick(sim: Simulator) -> None:
+        result = front.run_round(sim.now, config.round_seconds)
+        deliveries.extend(result.deliveries)
+        backlog_samples.append(result.backlog_bytes_after)
+        queue_samples.append(result.queue_length_after)
+
+    simulator.schedule_periodic(
+        config.round_seconds,
+        round_tick,
+        start=config.round_seconds,
+        until=duration_seconds + 1.0,
+    )
+    simulator.run(until=duration_seconds + 2.0)
+
+    metrics = compute_user_metrics(user_id, records, deliveries)
+    return UserRunOutcome(
+        metrics=metrics,
+        mean_backlog_bytes=(
+            sum(backlog_samples) / len(backlog_samples) if backlog_samples else 0.0
+        ),
+        max_queue_length=max(queue_samples, default=0),
+        final_queue_length=queue_samples[-1] if queue_samples else 0,
+    )
+
+
+def run_experiment(
+    workload: Workload,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations | None = None,
+    user_ids: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Run one policy over (a subset of) the workload's users."""
+    if annotations is None:
+        annotations = UtilityAnnotations.train(
+            workload, seed=config.seed, oracle=config.use_oracle_utility
+        )
+    duration_seconds = workload.config.duration_hours * 3600.0
+    users = list(user_ids) if user_ids is not None else workload.user_ids()
+    by_user: dict[int, list[NotificationRecord]] = {u: [] for u in users}
+    for record in workload.records:
+        if record.recipient_id in by_user:
+            by_user[record.recipient_id].append(record)
+
+    outcomes = []
+    for user_id in users:
+        records = by_user[user_id]
+        if not records:
+            continue
+        outcomes.append(
+            run_user(user_id, records, spec, config, annotations, duration_seconds)
+        )
+    if not outcomes:
+        raise ValueError("no users with notifications to simulate")
+    return ExperimentResult(
+        spec=spec,
+        config=config,
+        aggregate=aggregate([o.metrics for o in outcomes]),
+        per_user=outcomes,
+    )
+
+
+def sweep_budgets(
+    workload: Workload,
+    specs: Sequence[MethodSpec],
+    budgets_mb: Sequence[float],
+    base_config: ExperimentConfig | None = None,
+    annotations: UtilityAnnotations | None = None,
+    user_ids: Sequence[int] | None = None,
+) -> dict[tuple[str, float], ExperimentResult]:
+    """The Figures 3-5 grid: every policy at every weekly budget."""
+    base_config = base_config or ExperimentConfig()
+    if annotations is None:
+        annotations = UtilityAnnotations.train(
+            workload, seed=base_config.seed, oracle=base_config.use_oracle_utility
+        )
+    results: dict[tuple[str, float], ExperimentResult] = {}
+    for budget in budgets_mb:
+        config = base_config.with_budget(budget)
+        for spec in specs:
+            results[(spec.label, budget)] = run_experiment(
+                workload, spec, config, annotations, user_ids
+            )
+    return results

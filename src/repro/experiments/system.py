@@ -1,0 +1,237 @@
+"""Whole-system live simulation: publications -> broker -> schedulers.
+
+The figure benchmarks replay pre-labelled per-user traces (as the paper's
+evaluation does).  This module runs the *deployed* composition instead,
+end to end inside one discrete-event simulation:
+
+1. publications fire as timed events and enter the topic broker
+   (optionally behind the broker-side capacity selector of
+   :mod:`repro.pubsub.capacity` -- the real-time overload control RichNote
+   is positioned against);
+2. at every round boundary the broker flushes; matched notifications are
+   labelled with synthetic mouse activity (ground truth for metrics only),
+   scored *online* by a previously trained content-utility classifier
+   (:class:`repro.core.utility.LearnedContentUtility` -- train on history,
+   serve live), wrapped with their presentation ladder and enqueued to the
+   recipient's scheduler;
+3. each user's round-based scheduler selects and delivers under its own
+   budgets, connectivity and battery.
+
+This is the integration a downstream adopter would deploy; the
+:class:`SystemReport` surfaces broker-side and user-side metrics together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.presentations import build_audio_ladder
+from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler
+from repro.core.utility import CombinedUtilityModel, ExponentialAging, LearnedContentUtility
+from repro.core.baselines import FifoScheduler, UtilScheduler
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.lyapunov import LyapunovConfig
+from repro.experiments.adapters import record_to_item
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.metrics import UserMetrics, aggregate, compute_user_metrics
+from repro.experiments.runner import _build_device, _forest_factory
+from repro.ml.dataset import FeatureExtractor, build_training_set
+from repro.pubsub.broker import Broker, DeliveryMode
+from repro.pubsub.capacity import CapacityConfig, CapacityLimitedBroker
+from repro.sim.engine import Simulator
+from repro.trace.entities import Catalog
+from repro.trace.generator import TraceConfig, TraceGenerator, Workload
+from repro.trace.interactions import InteractionSimulator
+from repro.trace.records import NotificationRecord
+from repro.trace.socialgraph import SocialGraph
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs of the live-system run."""
+
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+    method: MethodSpec = field(default_factory=lambda: MethodSpec(Method.RICHNOTE))
+    #: Per-round broker fan-out cap; None disables broker-side filtering.
+    broker_capacity_per_round: int | None = None
+    user_inbox_capacity: int = 200
+
+
+@dataclass
+class SystemReport:
+    """Joint broker-side and user-side outcome of a run."""
+
+    publications: int
+    notifications_matched: int
+    notifications_dropped_at_broker: int
+    records: list[NotificationRecord]
+    per_user: dict[int, UserMetrics]
+    deliveries: list[Delivery]
+
+    @property
+    def aggregate(self):
+        return aggregate(list(self.per_user.values()))
+
+    @property
+    def broker_drop_rate(self) -> float:
+        if self.notifications_matched == 0:
+            return 0.0
+        return self.notifications_dropped_at_broker / self.notifications_matched
+
+
+class SystemSimulation:
+    """Composes generator, broker, classifier and schedulers in one DES."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        graph: SocialGraph,
+        trace_config: TraceConfig,
+        system_config: SystemConfig | None = None,
+        training_workload: Workload | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.trace_config = trace_config
+        self.config = system_config or SystemConfig()
+        self._generator = TraceGenerator(catalog, graph, trace_config)
+        # Train the content-utility model on history: a separate workload
+        # from the same world but a shifted seed (yesterday's logs).
+        if training_workload is None:
+            import dataclasses
+
+            history_config = dataclasses.replace(
+                trace_config, seed=trace_config.seed + 1000
+            )
+            training_workload = TraceGenerator(
+                catalog, graph, history_config
+            ).generate()
+        extractor = FeatureExtractor()
+        x, y = build_training_set(training_workload.records, extractor)
+        forest = _forest_factory(self.config.experiment.seed).fit(x, y)
+        self._scorer = LearnedContentUtility(forest, extractor)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def _build_schedulers(
+        self, user_ids: list[int], duration: float
+    ) -> dict[int, RoundBasedScheduler]:
+        config = self.config.experiment
+        aging = (
+            ExponentialAging(config.aging_tau_seconds)
+            if config.aging_tau_seconds
+            else None
+        )
+        schedulers: dict[int, RoundBasedScheduler] = {}
+        for user_id in user_ids:
+            device = _build_device(user_id, config, duration)
+            data = DataBudget(theta_bytes=config.theta_bytes_per_round)
+            energy = EnergyBudget(kappa_joules=config.kappa_joules_per_round)
+            utility_model = CombinedUtilityModel(aging=aging)
+            spec = self.config.method
+            if spec.method is Method.RICHNOTE:
+                schedulers[user_id] = RichNoteScheduler(
+                    device, data, energy, utility_model,
+                    lyapunov=LyapunovConfig(
+                        v=config.lyapunov_v,
+                        kappa_joules=config.kappa_joules_per_round,
+                    ),
+                )
+            else:
+                cls = FifoScheduler if spec.method is Method.FIFO else UtilScheduler
+                schedulers[user_id] = cls(
+                    device, data, energy, spec.fixed_level, utility_model
+                )
+        return schedulers
+
+    # -- the run ----------------------------------------------------------------
+
+    def run(self) -> SystemReport:
+        subscriptions = self._generator.build_subscriptions()
+        inner_broker = Broker(subscriptions, default_mode=DeliveryMode.ROUND)
+        capacity_broker = None
+        if self.config.broker_capacity_per_round is not None:
+            capacity_broker = CapacityLimitedBroker(
+                inner_broker,
+                CapacityConfig(
+                    broker_capacity=self.config.broker_capacity_per_round,
+                    default_user_capacity=self.config.user_inbox_capacity,
+                ),
+            )
+
+        labeller = InteractionSimulator(
+            catalog=self.catalog,
+            graph=self.graph,
+            interest_model=self._generator.interest_model,
+        )
+        ladder = build_audio_ladder(self.config.experiment.presentation_spec)
+        duration = self.trace_config.duration_hours * 3600.0
+        user_ids = sorted(self.catalog.users)
+        schedulers = self._build_schedulers(user_ids, duration)
+
+        records: list[NotificationRecord] = []
+        deliveries: list[Delivery] = []
+        dropped = 0
+
+        def ingest(notification) -> None:
+            nonlocal dropped
+            record = labeller.label(notification)
+            records.append(record)
+            item = record_to_item(record, ladder)
+            self._scorer.annotate([item])
+            schedulers[record.recipient_id].enqueue(item)
+
+        simulator = Simulator()
+        publications = self._generator.generate_publications()
+        for publication in publications:
+            simulator.schedule_at(
+                publication.timestamp,
+                lambda sim, p=publication: (
+                    capacity_broker.publish(p)
+                    if capacity_broker
+                    else inner_broker.publish(p)
+                ),
+            )
+
+        round_seconds = self.config.experiment.round_seconds
+
+        def round_tick(sim: Simulator) -> None:
+            nonlocal dropped
+            if capacity_broker is not None:
+                selection = capacity_broker.flush_round()
+                dropped += len(selection.dropped)
+                released = selection.delivered
+            else:
+                released = inner_broker.flush()
+            for notification in released:
+                ingest(notification)
+            for scheduler in schedulers.values():
+                result = scheduler.run_round(sim.now, round_seconds)
+                deliveries.extend(result.deliveries)
+
+        simulator.schedule_periodic(
+            round_seconds, round_tick, start=round_seconds, until=duration + 1.0
+        )
+        simulator.run(until=duration + 2.0)
+
+        by_user: dict[int, list[NotificationRecord]] = {u: [] for u in user_ids}
+        for record in records:
+            by_user[record.recipient_id].append(record)
+        deliveries_by_user: dict[int, list[Delivery]] = {u: [] for u in user_ids}
+        for delivery in deliveries:
+            deliveries_by_user[delivery.user_id].append(delivery)
+        per_user = {
+            user_id: compute_user_metrics(
+                user_id, by_user[user_id], deliveries_by_user[user_id]
+            )
+            for user_id in user_ids
+            if by_user[user_id]
+        }
+        return SystemReport(
+            publications=len(publications),
+            notifications_matched=inner_broker.stats.notifications,
+            notifications_dropped_at_broker=dropped,
+            records=records,
+            per_user=per_user,
+            deliveries=deliveries,
+        )

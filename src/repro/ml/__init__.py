@@ -1,0 +1,23 @@
+"""From-scratch Random Forest substrate for content-utility learning."""
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.dataset import FEATURE_NAMES, FeatureExtractor, build_training_set
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+    roc_auc,
+)
+from repro.ml.crossval import CrossValResult, cross_validate, kfold_indices, stratified_kfold_indices
+from repro.ml.calibration import (
+    CalibrationBin,
+    brier_score,
+    calibration_curve,
+    expected_calibration_error,
+    render_reliability,
+)

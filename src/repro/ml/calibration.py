@@ -1,0 +1,103 @@
+"""Probability-calibration diagnostics for the content-utility model.
+
+RichNote does not just rank by classifier output -- it multiplies the
+predicted click probability into the scheduling objective (Eq. 1), so the
+*calibration* of ``U_c`` matters, not only its discrimination.  This module
+provides the standard diagnostics:
+
+* :func:`brier_score` -- mean squared error of the probabilities;
+* :func:`calibration_curve` -- binned predicted-vs-observed frequencies
+  (the reliability diagram's data);
+* :func:`expected_calibration_error` -- the bin-weighted |gap| summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate(y_true, probabilities) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y_true, dtype=float)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape != p.shape or y.ndim != 1:
+        raise ValueError("labels and probabilities must be aligned vectors")
+    if y.size == 0:
+        raise ValueError("empty inputs")
+    if not set(np.unique(y)) <= {0.0, 1.0}:
+        raise ValueError("labels must be binary 0/1")
+    if (p < 0).any() or (p > 1).any():
+        raise ValueError("probabilities must be in [0, 1]")
+    return y, p
+
+
+def brier_score(y_true, probabilities) -> float:
+    """Mean squared error of predicted probabilities (lower is better).
+
+    0 is perfect; 0.25 is the score of a constant 0.5 prediction.
+    """
+    y, p = _validate(y_true, probabilities)
+    return float(np.mean((p - y) ** 2))
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """One reliability-diagram bin."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        return abs(self.mean_predicted - self.observed_rate)
+
+
+def calibration_curve(y_true, probabilities, n_bins: int = 10) -> list[CalibrationBin]:
+    """Equal-width bins over [0, 1]; empty bins are omitted."""
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    y, p = _validate(y_true, probabilities)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[CalibrationBin] = []
+    for lower, upper in zip(edges, edges[1:]):
+        if upper == 1.0:
+            mask = (p >= lower) & (p <= upper)
+        else:
+            mask = (p >= lower) & (p < upper)
+        if not mask.any():
+            continue
+        bins.append(
+            CalibrationBin(
+                lower=float(lower),
+                upper=float(upper),
+                count=int(mask.sum()),
+                mean_predicted=float(p[mask].mean()),
+                observed_rate=float(y[mask].mean()),
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(y_true, probabilities, n_bins: int = 10) -> float:
+    """ECE: bin-count-weighted mean |predicted - observed|."""
+    y, p = _validate(y_true, probabilities)
+    bins = calibration_curve(y, p, n_bins)
+    total = sum(b.count for b in bins)
+    return sum(b.count * b.gap for b in bins) / total
+
+
+def render_reliability(bins: list[CalibrationBin]) -> str:
+    """Plain-text reliability diagram data."""
+    lines = [
+        "bin          n   predicted  observed   gap",
+    ]
+    for b in bins:
+        lines.append(
+            f"[{b.lower:.1f},{b.upper:.1f}) {b.count:>5} "
+            f"{b.mean_predicted:>10.3f} {b.observed_rate:>9.3f} {b.gap:>6.3f}"
+        )
+    return "\n".join(lines)

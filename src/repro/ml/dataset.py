@@ -1,0 +1,141 @@
+"""Feature extraction: trace records -> classifier matrices.
+
+Implements the feature space of Section V-A.  Three families:
+
+* **social ties** between sender and recipient (tie strength, friend flag);
+* **popularity** of the track, album and artist (1-100 scores normalized);
+* **timestamp** features (hour of day, weekday/weekend, day/night);
+
+plus a one-hot of the publication kind (friend feed / album release /
+playlist update), which the paper's pipeline had implicitly through its
+separate feeds.
+
+The same layout is used at serving time: the scheduler's
+:class:`repro.core.content.ContentItem` carries the record fields in its
+``metadata`` dict, and :meth:`FeatureExtractor.features_for_item` rebuilds
+the identical vector so train/serve skew is impossible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.content import ContentItem
+from repro.pubsub.topics import TopicKind
+from repro.trace.records import NotificationRecord
+
+#: Ordered feature names; the single source of truth for the layout.
+FEATURE_NAMES: tuple[str, ...] = (
+    "tie_strength",
+    "is_friend",
+    "favorite_genre",
+    "track_popularity",
+    "album_popularity",
+    "artist_popularity",
+    "hour_of_day",
+    "is_weekend",
+    "is_night",
+    "kind_friend",
+    "kind_artist",
+    "kind_playlist",
+)
+
+
+class FeatureExtractor:
+    """Stateless mapper from records/items to fixed-width feature vectors."""
+
+    @property
+    def n_features(self) -> int:
+        return len(FEATURE_NAMES)
+
+    def features_for_record(self, record: NotificationRecord) -> list[float]:
+        return self._vector(
+            tie_strength=record.tie_strength,
+            is_friend=record.is_friend,
+            favorite_genre=record.favorite_genre,
+            track_popularity=record.track_popularity,
+            album_popularity=record.album_popularity,
+            artist_popularity=record.artist_popularity,
+            timestamp=record.timestamp,
+            kind=record.kind,
+        )
+
+    def features_for_item(self, item: ContentItem) -> list[float]:
+        """Rebuild the vector from a scheduler item's metadata.
+
+        Raises ``KeyError`` if the item was not built through
+        :func:`repro.experiments.adapters.record_to_item` (or an equivalent
+        ingest path that populates the metadata fields).
+        """
+        meta = item.metadata
+        return self._vector(
+            tie_strength=float(meta["tie_strength"]),
+            is_friend=bool(meta["is_friend"]),
+            favorite_genre=bool(meta["favorite_genre"]),
+            track_popularity=int(meta["track_popularity"]),
+            album_popularity=int(meta["album_popularity"]),
+            artist_popularity=int(meta["artist_popularity"]),
+            timestamp=item.created_at,
+            kind=TopicKind(meta["kind"]),
+        )
+
+    def _vector(
+        self,
+        tie_strength: float,
+        is_friend: bool,
+        favorite_genre: bool,
+        track_popularity: int,
+        album_popularity: int,
+        artist_popularity: int,
+        timestamp: float,
+        kind: TopicKind,
+    ) -> list[float]:
+        hour = (timestamp / 3600.0) % 24.0
+        day = int(timestamp // 86400.0) % 7
+        return [
+            tie_strength,
+            float(is_friend),
+            float(favorite_genre),
+            track_popularity / 100.0,
+            album_popularity / 100.0,
+            artist_popularity / 100.0,
+            hour / 24.0,
+            float(day >= 5),
+            float(hour >= 22.0 or hour < 6.0),
+            float(kind is TopicKind.FRIEND),
+            float(kind is TopicKind.ARTIST),
+            float(kind is TopicKind.PLAYLIST),
+        ]
+
+
+def build_training_set(
+    records: Sequence[NotificationRecord],
+    extractor: FeatureExtractor | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Attended records -> (X, y) with y = clicked.
+
+    Applies the paper's filter: "First we filter out notifications without
+    corresponding mouse activity from the dataset" -- only hovered/clicked
+    records are labelled training data.
+    """
+    extractor = extractor or FeatureExtractor()
+    rows: list[list[float]] = []
+    labels: list[int] = []
+    for record in records:
+        if not record.attended:
+            continue
+        rows.append(extractor.features_for_record(record))
+        labels.append(int(record.clicked))
+    if not rows:
+        raise ValueError("no attended records; cannot build a training set")
+    return np.asarray(rows, dtype=float), np.asarray(labels, dtype=int)
+
+
+def class_balance(y) -> float:
+    """Fraction of positive (clicked) labels; sanity metric for synthesis."""
+    y = np.asarray(y, dtype=int)
+    if y.size == 0:
+        raise ValueError("empty label vector")
+    return float(y.mean())

@@ -1,0 +1,241 @@
+"""CART decision trees (binary splits, Gini impurity).
+
+The paper trains a Random Forest [7] in Weka; this is the from-scratch
+substrate it rests on.  Numeric features only (the feature extractor
+one-hot-encodes categoricals), binary classification with class-probability
+leaves so the forest can expose calibrated-ish ``predict_proba`` scores --
+the quantity RichNote turns into content utility ``U_c``.
+
+The implementation vectorizes split search with numpy: for each candidate
+feature the samples are sorted once and all thresholds are evaluated with
+prefix sums, giving ``O(f * n log n)`` per node for ``f`` candidate
+features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry class-1 probability."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    probability: float = 0.0  # P(class == 1) at this node
+    samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(positive: float, total: float) -> float:
+    """Gini impurity of a node with ``positive`` of ``total`` class-1."""
+    if total <= 0:
+        return 0.0
+    p = positive / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, weighted-impurity) over candidate features.
+
+    Returns ``None`` when no valid split exists (pure node or too few
+    samples on one side for every threshold).
+    """
+    n = len(y)
+    total_pos = float(y.sum())
+    parent = _gini(total_pos, n)
+    best: tuple[int, float, float] | None = None
+    best_score = parent - 1e-12  # require strict improvement
+
+    for feature in feature_indices:
+        values = x[:, feature]
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_y = y[order]
+        # Candidate split positions: between distinct consecutive values.
+        distinct = np.nonzero(np.diff(sorted_values) > 0)[0]
+        if distinct.size == 0:
+            continue
+        left_counts = distinct + 1  # samples on the left of each candidate
+        pos_prefix = np.cumsum(sorted_y)
+        left_pos = pos_prefix[distinct].astype(float)
+        right_counts = n - left_counts
+        right_pos = total_pos - left_pos
+
+        valid = (left_counts >= min_samples_leaf) & (
+            right_counts >= min_samples_leaf
+        )
+        if not valid.any():
+            continue
+        lc = left_counts[valid].astype(float)
+        rc = right_counts[valid].astype(float)
+        lp = left_pos[valid]
+        rp = right_pos[valid]
+        left_gini = 2.0 * (lp / lc) * (1.0 - lp / lc)
+        right_gini = 2.0 * (rp / rc) * (1.0 - rp / rc)
+        weighted = (lc * left_gini + rc * right_gini) / n
+        idx = int(np.argmin(weighted))
+        score = float(weighted[idx])
+        if score < best_score:
+            positions = distinct[valid]
+            split_at = int(positions[idx])
+            threshold = 0.5 * (
+                float(sorted_values[split_at]) + float(sorted_values[split_at + 1])
+            )
+            best_score = score
+            best = (int(feature), threshold, score)
+    return best
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier with probability leaves.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0); ``None`` for unbounded.
+    min_samples_split:
+        Minimum samples required to attempt a split.
+    min_samples_leaf:
+        Minimum samples each child must receive.
+    max_features:
+        Number of features examined per split; ``None`` = all, ``"sqrt"`` =
+        ``ceil(sqrt(f))`` (the Random Forest default).
+    random_state:
+        Seed for the per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._n_features = 0
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(self, x, y) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if x.ndim != 2:
+            raise ValueError("x must be a 2-D matrix")
+        if y.ndim != 1 or len(y) != len(x):
+            raise ValueError("y must be a vector aligned with x")
+        if not set(np.unique(y)) <= {0, 1}:
+            raise ValueError("labels must be binary 0/1")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_features = x.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(x, y, depth=0, rng=rng)
+        return self
+
+    def _candidate_features(self, rng: np.random.Generator) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self._n_features)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.ceil(np.sqrt(self._n_features))))
+        else:
+            k = int(self.max_features)
+            if not 1 <= k <= self._n_features:
+                raise ValueError(
+                    f"max_features must be in [1, {self._n_features}], got {k}"
+                )
+        return rng.choice(self._n_features, size=k, replace=False)
+
+    def _grow(
+        self, x: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator
+    ) -> _Node:
+        node = _Node(probability=float(y.mean()), samples=len(y))
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or len(y) < self.min_samples_split
+            or node.probability in (0.0, 1.0)
+        ):
+            return node
+        split = _best_split(
+            x, y, self._candidate_features(rng), self.min_samples_leaf
+        )
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    # -- prediction -----------------------------------------------------------
+
+    def _check_fitted(self) -> _Node:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+        return self._root
+
+    def predict_proba(self, x) -> np.ndarray:
+        """Class probabilities, shape ``(n, 2)``; column 1 = P(clicked)."""
+        root = self._check_fitted()
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected matrix with {self._n_features} features, got {x.shape}"
+            )
+        p1 = np.empty(len(x))
+        for row_index in range(len(x)):
+            node = root
+            row = x[row_index]
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            p1[row_index] = node.probability
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, x) -> np.ndarray:
+        """Hard class predictions at the 0.5 threshold."""
+        return (self.predict_proba(x)[:, 1] >= 0.5).astype(int)
+
+    def depth(self) -> int:
+        """Realized depth of the fitted tree."""
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._check_fitted())
+
+    def node_count(self) -> int:
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self._check_fitted())

@@ -1,0 +1,12 @@
+"""Topic-based pub/sub substrate (Spotify-style notification origin)."""
+
+from repro.pubsub.topics import Publication, Topic, TopicKind
+from repro.pubsub.subscriptions import SubscriptionStore
+from repro.pubsub.matching import TopicMatcher
+from repro.pubsub.broker import Broker, BrokerStats, DeliveryMode, Notification
+from repro.pubsub.capacity import (
+    CapacityConfig,
+    CapacityLimitedBroker,
+    CapacitySelection,
+    select_satisfied_subscribers,
+)

@@ -1,0 +1,138 @@
+"""The notification broker: publications in, per-user notifications out.
+
+Section II describes Spotify's hybrid engine with two delivery modes
+(real-time for friend feeds, batch for album/playlist updates) and RichNote's
+round-based middle ground.  The broker supports all three:
+
+* ``REALTIME`` -- notifications are handed to the sink as soon as the
+  publication is matched;
+* ``BATCH`` -- notifications accumulate until an explicit :meth:`flush`;
+* ``ROUND`` -- notifications accumulate and are released by the periodic
+  :meth:`flush`, which the experiment harness calls once per round (round
+  duration is tuned per feed frequency: minutes for friend feeds, hours for
+  artist/playlist feeds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.pubsub.matching import TopicMatcher
+from repro.pubsub.subscriptions import SubscriptionStore
+from repro.pubsub.topics import Publication, TopicKind
+
+
+class DeliveryMode(str, Enum):
+    REALTIME = "realtime"
+    BATCH = "batch"
+    ROUND = "round"
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A matched publication addressed to one recipient."""
+
+    notification_id: int
+    recipient_id: int
+    publication: Publication
+
+    @property
+    def timestamp(self) -> float:
+        return self.publication.timestamp
+
+    @property
+    def kind(self) -> TopicKind:
+        return self.publication.topic.kind
+
+
+#: Sink invoked with each released notification.
+NotificationSink = Callable[[Notification], None]
+
+
+@dataclass
+class BrokerStats:
+    """Cumulative broker counters (scalability diagnostics)."""
+
+    publications: int = 0
+    notifications: int = 0
+    dropped_no_subscribers: int = 0
+    per_kind: dict[TopicKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in TopicKind}
+    )
+
+
+class Broker:
+    """Topic-based pub/sub broker with pluggable delivery mode.
+
+    Per-kind delivery modes are supported -- e.g. friend feeds REALTIME,
+    album releases ROUND -- via ``mode_overrides``.
+    """
+
+    def __init__(
+        self,
+        subscriptions: SubscriptionStore | None = None,
+        default_mode: DeliveryMode = DeliveryMode.ROUND,
+        mode_overrides: dict[TopicKind, DeliveryMode] | None = None,
+    ) -> None:
+        self.subscriptions = subscriptions or SubscriptionStore()
+        self.matcher = TopicMatcher(self.subscriptions)
+        self._default_mode = default_mode
+        self._mode_overrides = dict(mode_overrides or {})
+        self._pending: list[Notification] = []
+        self._sinks: list[NotificationSink] = []
+        self._ids = itertools.count()
+        self.stats = BrokerStats()
+
+    def add_sink(self, sink: NotificationSink) -> None:
+        """Register a consumer for released notifications."""
+        self._sinks.append(sink)
+
+    def mode_for(self, kind: TopicKind) -> DeliveryMode:
+        return self._mode_overrides.get(kind, self._default_mode)
+
+    def publish(self, publication: Publication) -> list[Notification]:
+        """Match and route one publication; returns the notifications made.
+
+        REALTIME notifications are pushed to sinks immediately; BATCH/ROUND
+        ones are queued for the next :meth:`flush`.
+        """
+        self.stats.publications += 1
+        recipients = self.matcher.match(publication)
+        if not recipients:
+            self.stats.dropped_no_subscribers += 1
+            return []
+        notifications = [
+            Notification(
+                notification_id=next(self._ids),
+                recipient_id=recipient,
+                publication=publication,
+            )
+            for recipient in sorted(recipients)
+        ]
+        self.stats.notifications += len(notifications)
+        self.stats.per_kind[publication.topic.kind] += len(notifications)
+        if self.mode_for(publication.topic.kind) is DeliveryMode.REALTIME:
+            for notification in notifications:
+                self._emit(notification)
+        else:
+            self._pending.extend(notifications)
+        return notifications
+
+    def flush(self) -> list[Notification]:
+        """Release all queued BATCH/ROUND notifications to the sinks."""
+        released = self._pending
+        self._pending = []
+        for notification in released:
+            self._emit(notification)
+        return released
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _emit(self, notification: Notification) -> None:
+        for sink in self._sinks:
+            sink(notification)

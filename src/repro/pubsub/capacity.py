@@ -1,0 +1,147 @@
+"""Broker-side capacity management (the real-time mode's overload control).
+
+Section II: "A large number of real-time notifications will cause
+information overload for human users; methods for selecting a subset of
+notifications in an efficient manner have been proposed in prior work [3]"
+-- Setty et al., *Maximizing the number of satisfied subscribers in pub/sub
+systems under capacity constraints* (INFOCOM 2014).  RichNote positions
+itself against exactly this machinery: broker-side selection maximizes a
+*count* of satisfied subscribers, whereas RichNote maximizes per-user
+*utility*.  Implementing the broker-side selector lets the repository show
+both layers working together (capacity filtering upstream, utility
+scheduling downstream) and gives the examples a faithful "before" system.
+
+Model (per round):
+
+* the broker can push at most ``broker_capacity`` notifications;
+* each subscriber absorbs at most ``user_capacity`` notifications (their
+  attention budget);
+* a subscriber is **satisfied** iff they receive *every* notification
+  matched to them this round (and their demand fits their own capacity);
+* objective: maximize the number of satisfied subscribers; leftover broker
+  capacity then partially serves the remaining subscribers.
+
+The greedy -- serve subscribers in ascending demand -- is optimal for the
+satisfied-count objective: exchanging any served subscriber for an unserved
+one with smaller demand never decreases the count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pubsub.broker import Broker, Notification
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Per-round capacities."""
+
+    broker_capacity: int
+    default_user_capacity: int = 50
+    user_capacity_overrides: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.broker_capacity < 0:
+            raise ValueError("broker capacity must be >= 0")
+        if self.default_user_capacity < 0:
+            raise ValueError("user capacity must be >= 0")
+        if any(c < 0 for c in self.user_capacity_overrides.values()):
+            raise ValueError("user capacity overrides must be >= 0")
+
+    def user_capacity(self, user_id: int) -> int:
+        return self.user_capacity_overrides.get(user_id, self.default_user_capacity)
+
+
+@dataclass
+class CapacitySelection:
+    """Outcome of one round of broker-side selection."""
+
+    delivered: list[Notification] = field(default_factory=list)
+    dropped: list[Notification] = field(default_factory=list)
+    satisfied_users: frozenset[int] = frozenset()
+
+    @property
+    def satisfied_count(self) -> int:
+        return len(self.satisfied_users)
+
+
+def select_satisfied_subscribers(
+    notifications: list[Notification], config: CapacityConfig
+) -> CapacitySelection:
+    """Greedy satisfied-subscriber maximization ([3]'s objective).
+
+    Sort subscribers by this round's demand (ascending); fully serve them
+    while broker capacity lasts (skipping users whose demand exceeds their
+    own capacity -- they can never be satisfied); then spend leftover
+    capacity partially serving the rest, smallest demand first.
+    """
+    by_user: dict[int, list[Notification]] = {}
+    for notification in notifications:
+        by_user.setdefault(notification.recipient_id, []).append(notification)
+
+    remaining = config.broker_capacity
+    selection = CapacitySelection()
+    satisfied: set[int] = set()
+    partial_queue: list[tuple[int, list[Notification]]] = []
+
+    for user_id in sorted(by_user, key=lambda u: (len(by_user[u]), u)):
+        batch = by_user[user_id]
+        demand = len(batch)
+        if demand <= config.user_capacity(user_id) and demand <= remaining:
+            selection.delivered.extend(batch)
+            satisfied.add(user_id)
+            remaining -= demand
+        else:
+            partial_queue.append((user_id, batch))
+
+    # Leftover capacity: partial service, capped by each user's capacity.
+    for user_id, batch in partial_queue:
+        if remaining <= 0:
+            selection.dropped.extend(batch)
+            continue
+        take = min(remaining, config.user_capacity(user_id), len(batch))
+        selection.delivered.extend(batch[:take])
+        selection.dropped.extend(batch[take:])
+        remaining -= take
+
+    selection.satisfied_users = frozenset(satisfied)
+    return selection
+
+
+class CapacityLimitedBroker:
+    """A broker whose round flushes pass through the capacity selector.
+
+    Wraps a :class:`repro.pubsub.broker.Broker` in ROUND/BATCH mode: on
+    :meth:`flush_round`, the pending notifications are filtered by the
+    satisfied-subscriber selector and only the survivors reach the sinks.
+    """
+
+    def __init__(self, broker: Broker, config: CapacityConfig) -> None:
+        if broker._sinks:
+            raise ValueError(
+                "register sinks on the CapacityLimitedBroker, not on the "
+                "wrapped broker -- otherwise dropped notifications would "
+                "still reach consumers on flush"
+            )
+        self.broker = broker
+        self.config = config
+        self.total_dropped = 0
+        self.total_delivered = 0
+        self._sinks = []
+
+    def add_sink(self, sink) -> None:
+        self._sinks.append(sink)
+
+    def publish(self, publication) -> None:
+        self.broker.publish(publication)
+
+    def flush_round(self) -> CapacitySelection:
+        pending = self.broker.flush()
+        selection = select_satisfied_subscribers(pending, self.config)
+        self.total_dropped += len(selection.dropped)
+        self.total_delivered += len(selection.delivered)
+        for notification in selection.delivered:
+            for sink in self._sinks:
+                sink(notification)
+        return selection

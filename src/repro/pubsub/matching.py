@@ -1,0 +1,47 @@
+"""Publication-to-subscriber matching.
+
+Topic-based matching is an index lookup, but the broker additionally
+supports *filters* -- per-user predicates over publication payloads (e.g.
+mute a friend's feed at night, only popular releases).  Filters are the
+hook through which selective-delivery policies below the utility layer can
+be expressed; the default configuration uses none.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pubsub.subscriptions import SubscriptionStore
+from repro.pubsub.topics import Publication
+
+#: A per-user content filter: (user_id, publication) -> deliver?
+MatchFilter = Callable[[int, Publication], bool]
+
+
+class TopicMatcher:
+    """Resolves a publication to the set of users who should be notified.
+
+    Self-notifications are suppressed: the publisher never receives a
+    notification about their own activity (a FRIEND-topic publisher is by
+    construction the topic entity, not a subscriber, but ARTIST/PLAYLIST
+    owners may follow their own pages).
+    """
+
+    def __init__(self, subscriptions: SubscriptionStore) -> None:
+        self._subscriptions = subscriptions
+        self._filters: list[MatchFilter] = []
+
+    def add_filter(self, match_filter: MatchFilter) -> None:
+        """Install a filter applied to every (user, publication) pair."""
+        self._filters.append(match_filter)
+
+    def match(self, publication: Publication) -> frozenset[int]:
+        """Users to notify for ``publication`` after filtering."""
+        candidates = self._subscriptions.subscribers(publication.topic)
+        matched = set()
+        for user_id in candidates:
+            if user_id == publication.publisher_id:
+                continue
+            if all(f(user_id, publication) for f in self._filters):
+                matched.add(user_id)
+        return frozenset(matched)

@@ -1,0 +1,66 @@
+"""Topic-based pub/sub vocabulary for the Spotify-style workload.
+
+Section II: "Spotify is known to use the topic-based pub/sub paradigm ...
+The topics may correspond to users friends, artist pages or publicly
+available music playlists.  The publications for these topics are
+notifications about friends listening to music tracks, new album releases,
+and updates to followed playlists respectively."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TopicKind(str, Enum):
+    """The three Spotify topic families."""
+
+    FRIEND = "friend"  # a user's activity feed
+    ARTIST = "artist"  # an artist's page
+    PLAYLIST = "playlist"  # a public playlist
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A concrete topic: (kind, entity id).
+
+    For FRIEND topics the entity is the *followed user*; subscribers are
+    that user's friends.  For ARTIST/PLAYLIST the entity is the artist or
+    playlist being followed.
+    """
+
+    kind: TopicKind
+    entity_id: int
+
+    def __post_init__(self) -> None:
+        if self.entity_id < 0:
+            raise ValueError("entity id must be >= 0")
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One event published to a topic.
+
+    Attributes
+    ----------
+    topic:
+        The topic this event belongs to.
+    publisher_id:
+        The user/artist/playlist-owner that caused the event (for FRIEND
+        topics, the listening friend; used for social-tie features).
+    timestamp:
+        Seconds since trace epoch.
+    payload:
+        Content attributes: track/album/artist ids, popularity scores --
+        whatever the feature extractor and presentation generator need.
+    """
+
+    topic: Topic
+    publisher_id: int
+    timestamp: float
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be >= 0")

@@ -1,0 +1,20 @@
+"""Discrete-event simulation, connectivity, battery and energy models."""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import (
+    CellularOnlyNetwork,
+    MarkovNetworkModel,
+    NetworkState,
+    SporadicCellularNetwork,
+    TraceConnectivity,
+    stationary_distribution,
+)
+from repro.sim.energy import (
+    GSM_PROFILE,
+    THREEG_PROFILE,
+    WIFI_PROFILE,
+    RadioProfile,
+    TransferEnergyModel,
+)
+from repro.sim.battery import BatterySample, BatteryTrace, DiurnalBatteryModel
+from repro.sim.device import DeviceStats, MobileDevice

@@ -1,0 +1,127 @@
+"""Mobile device model: connectivity + battery + energy accounting.
+
+The scheduler (broker side) needs, per user and per round:
+
+* whether the device is reachable and at what bandwidth (network model);
+* the battery-aware energy replenishment ``e(t)`` (battery trace);
+* an estimate of the energy a candidate download would cost
+  (:class:`repro.sim.energy.TransferEnergyModel`), and the realized energy
+  once a batch is delivered.
+
+:class:`MobileDevice` bundles these and records per-device delivery
+statistics used by the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.sim.battery import BatteryTrace
+from repro.sim.energy import TransferEnergyModel
+from repro.sim.network import NetworkState
+
+
+class ConnectivityModel(Protocol):
+    """Interface shared by Markov and cellular-only network models."""
+
+    @property
+    def state(self) -> NetworkState: ...  # pragma: no cover - protocol
+
+    @property
+    def connected(self) -> bool: ...  # pragma: no cover - protocol
+
+    @property
+    def bandwidth(self) -> float: ...  # pragma: no cover - protocol
+
+    def step(self) -> NetworkState: ...  # pragma: no cover - protocol
+
+    def capacity_per_round(self, round_seconds: float) -> float: ...  # pragma: no cover
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative per-device delivery accounting."""
+
+    bytes_downloaded: float = 0.0
+    energy_spent_joules: float = 0.0
+    notifications_received: int = 0
+    rounds_connected: int = 0
+    rounds_total: int = 0
+
+
+@dataclass
+class MobileDevice:
+    """One user's device as seen by the broker.
+
+    Parameters
+    ----------
+    user_id:
+        The owning user.
+    network:
+        Connectivity model stepped once per round.
+    battery:
+        Battery trace driving energy-budget replenishment.
+    energy_model:
+        Transfer pricing shared across devices.
+    expected_batch:
+        Amortization factor for selection-time energy estimates.
+    """
+
+    user_id: int
+    network: ConnectivityModel
+    battery: BatteryTrace
+    energy_model: TransferEnergyModel = field(default_factory=TransferEnergyModel)
+    expected_batch: int = 10
+    stats: DeviceStats = field(default_factory=DeviceStats)
+
+    def begin_round(self, now: float, round_seconds: float) -> None:
+        """Advance connectivity one Markov step and update counters."""
+        del now, round_seconds  # present for interface symmetry/logging hooks
+        self.network.step()
+        self.stats.rounds_total += 1
+        if self.network.connected:
+            self.stats.rounds_connected += 1
+
+    @property
+    def connected(self) -> bool:
+        return self.network.connected
+
+    def round_capacity_bytes(self, round_seconds: float) -> float:
+        """Bytes deliverable this round given current connectivity."""
+        return self.network.capacity_per_round(round_seconds)
+
+    def replenishment(self, now: float, kappa_joules: float) -> float:
+        """Battery-aware ``e(t)`` for the energy budget this round."""
+        return self.battery.replenishment(now, kappa_joules)
+
+    def estimate_energy(self, size_bytes: float) -> float:
+        """Selection-time estimate of ``rho(i, j)`` at current connectivity.
+
+        Returns ``inf`` when the device is OFF: no presentation is
+        affordable, which makes the scheduler hold items in the queue.
+        """
+        if not self.network.connected:
+            return float("inf")
+        return self.energy_model.estimate_for_selection(
+            self.network.state, size_bytes, expected_batch=self.expected_batch
+        )
+
+    def download_batch(self, sizes_bytes: Sequence[float]) -> float:
+        """Deliver a batch; returns realized energy and updates stats.
+
+        Raises if called while disconnected -- the scheduler must gate
+        deliveries on connectivity.
+        """
+        if not self.network.connected:
+            raise RuntimeError(
+                f"device of user {self.user_id} is OFF; cannot download"
+            )
+        energy = self.energy_model.batch_energy(self.network.state, sizes_bytes)
+        total_bytes = float(sum(sizes_bytes))
+        self.stats.bytes_downloaded += total_bytes
+        self.stats.energy_spent_joules += energy
+        self.stats.notifications_received += len(
+            [size for size in sizes_bytes if size > 0]
+        )
+        return energy

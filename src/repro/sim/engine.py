@@ -1,0 +1,142 @@
+"""Discrete-event simulation engine.
+
+The paper's evaluation runs on "a custom event-based simulator written in
+Java" [6].  This module is the Python equivalent: a classic event-heap
+simulator with a monotonically advancing clock, deterministic tie-breaking
+(FIFO among simultaneous events) and support for both one-shot events and
+periodic processes (used for the round-based scheduler).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+EventCallback = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle to a scheduled event, allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; no-op if already fired."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Event-heap simulator with a float-seconds clock starting at 0."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events that have fired so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback(sim)`` at absolute time ``time``.
+
+        Scheduling in the past raises ``ValueError`` -- the clock never
+        rewinds.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = _ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback(sim)`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        start: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        """Fire ``callback`` every ``period`` seconds starting at ``start``.
+
+        The next occurrence is scheduled lazily after each firing, so the
+        callback may consult simulator state between rounds.  ``until`` is
+        an exclusive stop time.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        first = self._now if start is None else start
+
+        def fire(sim: Simulator) -> None:
+            callback(sim)
+            next_time = sim.now + period
+            if until is None or next_time < until:
+                sim.schedule_at(next_time, fire)
+
+        self.schedule_at(first, fire)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in time order.
+
+        Stops when the heap empties, when the next event is at or beyond
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` events (a runaway guard for tests).
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                return
+            event = self._heap[0]
+            if until is not None and event.time >= until:
+                self._now = until
+                return
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(self)
+            self._processed += 1
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def peek_next_time(self) -> float | None:
+        """Time of the earliest pending (non-cancelled) event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,51 @@
+"""Typed simulation events used by the trace replay harness.
+
+The event classes are plain records; the :class:`repro.sim.engine.Simulator`
+works with callbacks, and the experiment runner wraps these records into
+callbacks.  Keeping them as data makes logs and tests introspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.content import ContentItem
+
+
+@dataclass(frozen=True)
+class NotificationArrival:
+    """A content item entering the broker's incoming queue."""
+
+    time: float
+    item: ContentItem
+
+
+@dataclass(frozen=True)
+class RoundTick:
+    """Start of a scheduling round ``t``."""
+
+    time: float
+    round_index: int
+
+
+@dataclass(frozen=True)
+class DeliveryCompleted:
+    """A presentation successfully downloaded by the device."""
+
+    time: float
+    user_id: int
+    item_id: int
+    level: int
+    size_bytes: int
+    energy_joules: float
+    utility: float
+
+
+@dataclass(frozen=True)
+class DeliveryDropped:
+    """An item expired or was evicted without delivery (diagnostics)."""
+
+    time: float
+    user_id: int
+    item_id: int
+    reason: str

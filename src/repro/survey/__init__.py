@@ -1,0 +1,23 @@
+"""Presentation-utility survey pipeline: synthesis, pruning, fitting."""
+
+from repro.survey.pareto import CandidatePresentation, dominates, is_useful, pareto_frontier
+from repro.survey.fitting import (
+    FitResult,
+    evaluate_logarithmic,
+    evaluate_polynomial,
+    fit_logarithmic,
+    fit_polynomial,
+    select_best_fit,
+)
+from repro.survey.synthesis import (
+    DurationSurvey,
+    PresentationRating,
+    ratings_to_candidates,
+    synthesize_duration_survey,
+    synthesize_presentation_survey,
+)
+from repro.survey.bootstrap import (
+    BootstrapFit,
+    bootstrap_duration_fit,
+    synthesize_heterogeneous_duration_survey,
+)

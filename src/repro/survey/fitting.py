@@ -1,0 +1,123 @@
+"""Regression fitting of duration-utility curves (Figure 2b, Eq. 8-9).
+
+The paper models ``util(d)`` -- the fraction of surveyed users satisfied by
+a preview of duration ``d`` -- with two candidate families and picks by fit
+quality:
+
+* logarithmic:  ``util(d) = a + b * log(1 + d)``         (Eq. 8; the winner)
+* polynomial:   ``util(d) = a * (1 - d / D)**b``          (Eq. 9)
+
+Both reduce to ordinary least squares after a transform: the logarithmic
+family is linear in ``log(1 + d)``; the polynomial family is linear in
+``log(1 - d/D)`` after taking logs of the utilities (requiring positive
+utilities and ``d < D``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted curve with goodness-of-fit diagnostics."""
+
+    name: str
+    params: tuple[float, ...]
+    sse: float
+    r_squared: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        inner = ", ".join(f"{p:.3f}" for p in self.params)
+        return f"{self.name}({inner}) R^2={self.r_squared:.3f}"
+
+
+def _ols(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Least-squares coefficients via the normal equations (lstsq)."""
+    coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return coefficients
+
+
+def _diagnostics(predicted: np.ndarray, target: np.ndarray) -> tuple[float, float]:
+    residual = target - predicted
+    sse = float(residual @ residual)
+    centered = target - target.mean()
+    total = float(centered @ centered)
+    r_squared = 1.0 - sse / total if total > 0 else (1.0 if sse == 0 else 0.0)
+    return sse, r_squared
+
+
+def fit_logarithmic(durations: Sequence[float], utilities: Sequence[float]) -> FitResult:
+    """Fit ``util(d) = a + b log(1 + d)``; returns params ``(a, b)``."""
+    d = np.asarray(durations, dtype=float)
+    u = np.asarray(utilities, dtype=float)
+    if d.shape != u.shape or d.size < 2:
+        raise ValueError("need at least two aligned (duration, utility) points")
+    if (d < 0).any():
+        raise ValueError("durations must be >= 0")
+    design = np.column_stack([np.ones_like(d), np.log1p(d)])
+    a, b = _ols(design, u)
+    predicted = design @ np.array([a, b])
+    sse, r2 = _diagnostics(predicted, u)
+    return FitResult(name="logarithmic", params=(float(a), float(b)), sse=sse, r_squared=r2)
+
+
+def fit_polynomial(
+    durations: Sequence[float],
+    utilities: Sequence[float],
+    big_d: float = 40.0,
+) -> FitResult:
+    """Fit ``util(d) = a (1 - d/D)^b``; returns params ``(a, D, b)``.
+
+    Requires strictly positive utilities and ``d < D`` (points at or beyond
+    ``D`` are rejected -- the model is undefined there).
+    """
+    d = np.asarray(durations, dtype=float)
+    u = np.asarray(utilities, dtype=float)
+    if d.shape != u.shape or d.size < 2:
+        raise ValueError("need at least two aligned (duration, utility) points")
+    if (d >= big_d).any():
+        raise ValueError(f"polynomial family requires d < D = {big_d}")
+    if (u <= 0).any():
+        raise ValueError("polynomial family requires positive utilities")
+    design = np.column_stack([np.ones_like(d), np.log(1.0 - d / big_d)])
+    log_a, b = _ols(design, np.log(u))
+    a = math.exp(log_a)
+    predicted = a * (1.0 - d / big_d) ** b
+    sse, r2 = _diagnostics(predicted, u)
+    return FitResult(
+        name="polynomial", params=(float(a), float(big_d), float(b)), sse=sse, r_squared=r2
+    )
+
+
+def evaluate_logarithmic(params: tuple[float, ...], d: float) -> float:
+    a, b = params
+    return a + b * math.log1p(d)
+
+
+def evaluate_polynomial(params: tuple[float, ...], d: float) -> float:
+    a, big_d, b = params
+    base = 1.0 - d / big_d
+    return a * base**b if base > 0 else 0.0
+
+
+def select_best_fit(
+    durations: Sequence[float],
+    utilities: Sequence[float],
+    big_d: float = 40.0,
+) -> tuple[FitResult, FitResult]:
+    """Fit both families and order them best-first by SSE.
+
+    Mirrors the paper's conclusion step: "From our survey results,
+    logarithmic function showed a better fit so we use this function in our
+    experiments."  Returns ``(best, other)``.
+    """
+    log_fit = fit_logarithmic(durations, utilities)
+    poly_fit = fit_polynomial(durations, utilities, big_d=big_d)
+    if log_fit.sse <= poly_fit.sse:
+        return log_fit, poly_fit
+    return poly_fit, log_fit

@@ -1,0 +1,73 @@
+"""Skyline pruning of the presentation attribute space (Figure 2a).
+
+Section V-B: "we do not need to consider a combination of attributes if
+another combination yields the same or smaller size, yet a higher utility.
+Consider Figure 2(a): B is not a useful presentation given A, because A
+provides the same utility for a smaller size, and similarly D provides a
+higher utility than same-sized B and C."
+
+A candidate presentation is *useful* iff no other candidate weakly
+dominates it (smaller-or-equal size AND greater-or-equal utility, strict in
+at least one dimension).  The surviving set is the Pareto frontier, which
+is monotone: sorted by size, utilities strictly increase -- exactly the
+ladder invariant :class:`repro.core.content.PresentationLadder` requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class CandidatePresentation:
+    """A point in the size/utility trade-off space, with its attributes."""
+
+    size_bytes: int
+    utility: float
+    attributes: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size must be >= 0")
+        if self.utility < 0:
+            raise ValueError("utility must be >= 0")
+
+
+def dominates(a: CandidatePresentation, b: CandidatePresentation) -> bool:
+    """Whether ``a`` weakly dominates ``b`` (and they are not equivalent)."""
+    no_worse = a.size_bytes <= b.size_bytes and a.utility >= b.utility
+    strictly_better = a.size_bytes < b.size_bytes or a.utility > b.utility
+    return no_worse and strictly_better
+
+
+def pareto_frontier(
+    candidates: Sequence[CandidatePresentation],
+) -> list[CandidatePresentation]:
+    """The useful presentations: the non-dominated skyline, sorted by size.
+
+    Ties in both dimensions keep a single representative (the first seen),
+    since duplicates carry no selection value.  Runs in ``O(n log n)``: one
+    sort by (size asc, utility desc), then a linear scan keeping points of
+    strictly increasing utility.
+    """
+    if not candidates:
+        return []
+    ordered = sorted(candidates, key=lambda c: (c.size_bytes, -c.utility))
+    frontier: list[CandidatePresentation] = []
+    best_utility = float("-inf")
+    for candidate in ordered:
+        if candidate.utility > best_utility:
+            frontier.append(candidate)
+            best_utility = candidate.utility
+    return frontier
+
+
+def is_useful(
+    candidate: CandidatePresentation,
+    candidates: Sequence[CandidatePresentation],
+) -> bool:
+    """Whether ``candidate`` survives pruning against ``candidates``."""
+    return not any(
+        dominates(other, candidate) for other in candidates if other != candidate
+    )

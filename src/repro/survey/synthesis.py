@@ -1,0 +1,154 @@
+"""Synthetic user surveys standing in for the paper's subjective studies.
+
+Two surveys back the presentation-utility model (Section V-B):
+
+1. **Attribute-grid survey** -- 20 audio presentations (4 sampling rates x
+   5 durations) rated 0-5 by users; after skyline pruning "only six useful
+   presentations" remained.  :func:`synthesize_presentation_survey` draws
+   noisy ratings from a ground-truth duration x fidelity utility surface
+   and returns the rated grid.
+
+2. **Duration-stop survey** -- 80 users listened to tracks and stopped at
+   the duration "barely enough for a good notification"; utility of
+   duration *d* is the CDF of stop points at *d*.  The paper fits Eq. 8 to
+   this CDF.  :func:`synthesize_duration_survey` samples stop points by
+   inverting the paper's own fitted logarithmic CDF (plus censoring beyond
+   the longest probe), so the downstream regression pipeline is verified to
+   *recover* constants near the published ones from raw responses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.survey.pareto import CandidatePresentation
+
+#: Survey grid of Section V-B: sampling rates (kHz) and durations (s).
+SURVEY_SAMPLING_RATES_KHZ = (8, 16, 32, 44)
+SURVEY_DURATIONS_S = (5.0, 10.0, 20.0, 30.0, 40.0)
+
+#: Perceptual fidelity multiplier per sampling rate (diminishing returns).
+FIDELITY_BY_RATE_KHZ = {8: 0.45, 16: 0.72, 32: 0.92, 44: 1.0}
+
+
+@dataclass(frozen=True)
+class PresentationRating:
+    """Average user rating of one (rate, duration) audio sample."""
+
+    sampling_rate_khz: int
+    duration_s: float
+    size_bytes: int
+    mean_rating: float  # 0-5 scale
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mean_rating <= 5.0:
+            raise ValueError("ratings live on a 0-5 scale")
+
+
+def sample_size_bytes(sampling_rate_khz: int, duration_s: float) -> int:
+    """Uncompressed mono 16-bit PCM size of a probe sample."""
+    return int(sampling_rate_khz * 1000 * 2 * duration_s)
+
+
+def synthesize_presentation_survey(
+    n_respondents: int = 40,
+    rating_noise_std: float = 0.35,
+    seed: int = 5,
+) -> list[PresentationRating]:
+    """Noisy 0-5 ratings over the 4x5 attribute grid.
+
+    Ground truth: rating = 5 * fidelity(rate) * normalized log-duration
+    utility; each respondent adds Gaussian noise, and the mean over
+    respondents is reported (as a survey would).
+    """
+    if n_respondents < 1:
+        raise ValueError("need at least one respondent")
+    rng = random.Random(seed)
+    ratings: list[PresentationRating] = []
+    top_duration_utility = math.log1p(max(SURVEY_DURATIONS_S))
+    for rate in SURVEY_SAMPLING_RATES_KHZ:
+        for duration in SURVEY_DURATIONS_S:
+            truth = (
+                5.0
+                * FIDELITY_BY_RATE_KHZ[rate]
+                * (math.log1p(duration) / top_duration_utility)
+            )
+            observed = [
+                min(5.0, max(0.0, truth + rng.gauss(0.0, rating_noise_std)))
+                for _ in range(n_respondents)
+            ]
+            ratings.append(
+                PresentationRating(
+                    sampling_rate_khz=rate,
+                    duration_s=duration,
+                    size_bytes=sample_size_bytes(rate, duration),
+                    mean_rating=sum(observed) / n_respondents,
+                )
+            )
+    return ratings
+
+
+def ratings_to_candidates(
+    ratings: Sequence[PresentationRating],
+) -> list[CandidatePresentation]:
+    """Adapt survey ratings for the skyline pruner of Figure 2(a)."""
+    return [
+        CandidatePresentation(
+            size_bytes=rating.size_bytes,
+            utility=rating.mean_rating,
+            attributes=(rating.sampling_rate_khz, rating.duration_s),
+        )
+        for rating in ratings
+    ]
+
+
+@dataclass
+class DurationSurvey:
+    """Raw stop-point responses of the duration survey."""
+
+    stop_seconds: list[float] = field(default_factory=list)
+    censored_at: float = 40.0  # probes stop at the longest duration
+
+    def empirical_cdf(self, duration: float) -> float:
+        """Fraction of users satisfied by a preview of <= ``duration``."""
+        if not self.stop_seconds:
+            raise ValueError("empty survey")
+        return sum(1 for s in self.stop_seconds if s <= duration) / len(
+            self.stop_seconds
+        )
+
+    def utilities_at(self, durations: Sequence[float]) -> list[float]:
+        """The survey's ``util(d)`` curve: the empirical CDF at each probe."""
+        return [self.empirical_cdf(d) for d in durations]
+
+
+def synthesize_duration_survey(
+    n_respondents: int = 80,
+    a: float = -0.397,
+    b: float = 0.352,
+    censor_at: float = 40.0,
+    seed: int = 6,
+) -> DurationSurvey:
+    """Sample stop points whose CDF follows the paper's Eq. 8.
+
+    Inverse-CDF sampling: for ``u ~ Uniform(0, 1)``, the stop point is
+    ``d = exp((u - a) / b) - 1``; draws whose implied duration exceeds the
+    probe horizon are censored at ``censor_at`` (the user never stopped
+    within the probe -- they wanted an even longer preview).
+    """
+    if n_respondents < 1:
+        raise ValueError("need at least one respondent")
+    if b <= 0:
+        raise ValueError("b must be positive for an increasing CDF")
+    rng = random.Random(seed)
+    stops: list[float] = []
+    for _ in range(n_respondents):
+        u = rng.random()
+        implied = math.exp((u - a) / b) - 1.0
+        stops.append(min(censor_at + 1e-6, implied) if implied > 0 else 0.0)
+    # Censored draws sit just above censor_at so empirical_cdf(censor_at)
+    # excludes them, matching "preferred longer than the longest probe".
+    return DurationSurvey(stop_seconds=stops, censored_at=censor_at)

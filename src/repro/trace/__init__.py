@@ -1,0 +1,9 @@
+"""Synthetic Spotify-like trace substrate."""
+
+from repro.trace.entities import Catalog, CatalogConfig, generate_catalog
+from repro.trace.socialgraph import SocialGraph, SocialGraphConfig, generate_social_graph
+from repro.trace.interest import InterestFeatures, LatentInterestModel
+from repro.trace.records import NotificationRecord
+from repro.trace.generator import TraceConfig, TraceGenerator, Workload, WorkloadSpec, build_workload
+from repro.trace.io import iter_trace, read_trace, write_trace
+from repro.trace.stats import Distribution, WorkloadStats, compute_stats, render_stats

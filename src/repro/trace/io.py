@@ -1,0 +1,72 @@
+"""Trace serialization: JSONL read/write with round-trip fidelity.
+
+Traces are stored one record per line so multi-gigabyte traces can be
+streamed without loading everything into memory.  The format is stable and
+versioned through a header line, letting downstream tooling reject
+incompatible files early.  Paths ending in ``.gz`` are transparently
+gzip-compressed (notification traces compress ~10x).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.trace.records import NotificationRecord
+
+FORMAT_NAME = "richnote-trace"
+FORMAT_VERSION = 1
+
+
+def _open(path: Path, mode: str):
+    """Text-mode open with transparent gzip for ``.gz`` paths."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+def write_trace(path: str | Path, records: Iterable[NotificationRecord]) -> int:
+    """Write records as JSONL (with a header line); returns record count."""
+    path = Path(path)
+    count = 0
+    with _open(path, "w") as handle:
+        header = {"format": FORMAT_NAME, "version": FORMAT_VERSION}
+        handle.write(json.dumps(header) + "\n")
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: str | Path) -> Iterator[NotificationRecord]:
+    """Stream records from a trace file, validating the header."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield NotificationRecord.from_dict(json.loads(line))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed record: {error}"
+                ) from error
+
+
+def read_trace(path: str | Path) -> list[NotificationRecord]:
+    """Load an entire trace into memory."""
+    return list(iter_trace(path))

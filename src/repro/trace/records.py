@@ -1,0 +1,83 @@
+"""The flat notification-trace record: the unit of the synthetic dataset.
+
+Mirrors what the paper extracted from the de-identified Spotify logs after
+joining three sources (Section V-A): the notification log, the mouse
+activity log (click / hover), and the social graph + public-API metadata
+(popularity scores, social ties).  One record = one notification delivered
+to one user, with its features and interaction labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+from repro.pubsub.topics import TopicKind
+
+
+@dataclass(frozen=True)
+class NotificationRecord:
+    """One notification with features and ground-truth interaction labels.
+
+    The scheduler and classifier only ever see the feature fields; the
+    ``clicked``/``hovered``/``click_time`` labels are used for supervised
+    training (clicked-vs-hovered, Section V-A) and for evaluation metrics
+    (precision/recall of delivered notifications).
+    """
+
+    notification_id: int
+    recipient_id: int
+    sender_id: int
+    kind: TopicKind
+    track_id: int
+    album_id: int
+    artist_id: int
+    track_popularity: int
+    album_popularity: int
+    artist_popularity: int
+    tie_strength: float
+    is_friend: bool
+    favorite_genre: bool
+    timestamp: float
+    hovered: bool
+    clicked: bool
+    click_time: float | None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be >= 0")
+        if not 0.0 <= self.tie_strength <= 1.0:
+            raise ValueError("tie strength must be in [0, 1]")
+        if self.clicked and not self.hovered:
+            raise ValueError("a click implies mouse attention (hovered)")
+        if self.clicked and self.click_time is None:
+            raise ValueError("clicked records need a click time")
+        if self.click_time is not None and self.click_time < self.timestamp:
+            raise ValueError("click cannot precede the notification")
+
+    @property
+    def attended(self) -> bool:
+        """Whether the user gave any mouse attention (the training filter)."""
+        return self.hovered
+
+    def hour_of_day(self) -> float:
+        return (self.timestamp / 3600.0) % 24.0
+
+    def is_weekend(self) -> bool:
+        """Trace epoch is taken to start on a Monday 00:00."""
+        day = int(self.timestamp // 86400.0) % 7
+        return day >= 5
+
+    def is_night(self) -> bool:
+        hour = self.hour_of_day()
+        return hour >= 22.0 or hour < 6.0
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["kind"] = self.kind.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NotificationRecord":
+        payload = dict(data)
+        payload["kind"] = TopicKind(payload["kind"])
+        return cls(**payload)

@@ -1,0 +1,139 @@
+"""Descriptive statistics of a notification workload.
+
+The paper grounds its design in trace characteristics (Section II: friend
+feeds are "frequent and large in number compared to other publications";
+Section V-C focuses on the top users by delivered notifications).  This
+module computes those characteristics for any record list -- synthetic or
+loaded from JSONL -- and powers the ``richnote stats`` CLI command and the
+workload-calibration tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pubsub.topics import TopicKind
+from repro.trace.records import NotificationRecord
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Distribution":
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(float(v) for v in values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((v - mean) ** 2 for v in ordered) / n
+        return cls(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            median=ordered[n // 2],
+            p90=ordered[min(n - 1, int(0.9 * n))],
+            maximum=ordered[-1],
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Workload-level summary used by calibration and the CLI."""
+
+    total_records: int
+    users: int
+    duration_hours: float
+    per_kind: dict[TopicKind, int]
+    per_user_volume: Distribution
+    attention_rate: float
+    click_rate: float
+    click_rate_given_attention: float
+    mean_click_delay_s: float
+    hourly_volume: list[int] = field(default_factory=list)
+
+    def friend_fraction(self) -> float:
+        if self.total_records == 0:
+            return 0.0
+        return self.per_kind.get(TopicKind.FRIEND, 0) / self.total_records
+
+    def peak_hour(self) -> int:
+        """Hour-of-day (0-23) with the most notifications."""
+        if not self.hourly_volume:
+            raise ValueError("no hourly volume data")
+        return max(range(len(self.hourly_volume)), key=self.hourly_volume.__getitem__)
+
+
+def compute_stats(records: Sequence[NotificationRecord]) -> WorkloadStats:
+    """Summarize a record list (raises on empty input)."""
+    if not records:
+        raise ValueError("cannot summarize an empty trace")
+    per_kind = {kind: 0 for kind in TopicKind}
+    per_user: dict[int, int] = {}
+    hourly = [0] * 24
+    attended = 0
+    clicked = 0
+    delays: list[float] = []
+    last_timestamp = 0.0
+    for record in records:
+        per_kind[record.kind] += 1
+        per_user[record.recipient_id] = per_user.get(record.recipient_id, 0) + 1
+        hourly[int(record.hour_of_day()) % 24] += 1
+        if record.hovered:
+            attended += 1
+        if record.clicked:
+            clicked += 1
+            if record.click_time is not None:
+                delays.append(record.click_time - record.timestamp)
+        last_timestamp = max(last_timestamp, record.timestamp)
+    total = len(records)
+    return WorkloadStats(
+        total_records=total,
+        users=len(per_user),
+        duration_hours=max(1.0, math.ceil(last_timestamp / 3600.0)),
+        per_kind=per_kind,
+        per_user_volume=Distribution.of(list(per_user.values())),
+        attention_rate=attended / total,
+        click_rate=clicked / total,
+        click_rate_given_attention=(clicked / attended) if attended else 0.0,
+        mean_click_delay_s=(sum(delays) / len(delays)) if delays else 0.0,
+        hourly_volume=hourly,
+    )
+
+
+def render_stats(stats: WorkloadStats) -> str:
+    """Human-readable report for the CLI."""
+    volume = stats.per_user_volume
+    lines = [
+        f"notifications : {stats.total_records} over {stats.duration_hours:g} h "
+        f"for {stats.users} users",
+        "per kind      : "
+        + "  ".join(
+            f"{kind.value}={count}" for kind, count in stats.per_kind.items()
+        )
+        + f"  (friend fraction {stats.friend_fraction():.2f})",
+        (
+            f"per user      : mean {volume.mean:.1f}  median {volume.median:.0f}"
+            f"  p90 {volume.p90:.0f}  max {volume.maximum:.0f}"
+        ),
+        (
+            f"interactions  : attended {stats.attention_rate:.2f}"
+            f"  clicked {stats.click_rate:.2f}"
+            f"  clicked|attended {stats.click_rate_given_attention:.2f}"
+        ),
+        f"click delay   : mean {stats.mean_click_delay_s / 60:.0f} min",
+        f"peak hour     : {stats.peak_hour():02d}:00",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Tests for the aging-policy family."""
+
+import pytest
+
+from repro.core.content import ContentItem, ContentKind
+from repro.core.presentations import build_audio_ladder
+from repro.core.utility import (
+    CombinedUtilityModel,
+    ExponentialAging,
+    LinearAging,
+    StepDeadlineAging,
+)
+
+
+def make_item(created_at=0.0):
+    return ContentItem(
+        item_id=1,
+        user_id=1,
+        kind=ContentKind.FRIEND_FEED,
+        created_at=created_at,
+        ladder=build_audio_ladder(),
+        content_utility=0.8,
+    )
+
+
+class TestLinearAging:
+    def test_decays_to_zero_at_lifetime(self):
+        aging = LinearAging(lifetime_seconds=100.0)
+        assert aging.decay(1.0, 0.0) == 1.0
+        assert aging.decay(1.0, 50.0) == pytest.approx(0.5)
+        assert aging.decay(1.0, 100.0) == 0.0
+        assert aging.decay(1.0, 500.0) == 0.0  # clamped, never negative
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearAging(lifetime_seconds=0)
+        with pytest.raises(ValueError):
+            LinearAging(100.0).decay(1.0, -1.0)
+
+
+class TestStepDeadlineAging:
+    def test_full_value_inside_deadline(self):
+        aging = StepDeadlineAging(deadline_seconds=100.0, residual_fraction=0.2)
+        assert aging.decay(0.5, 99.0) == 0.5
+        assert aging.decay(0.5, 100.0) == 0.5  # inclusive boundary
+
+    def test_residual_after_deadline(self):
+        aging = StepDeadlineAging(deadline_seconds=100.0, residual_fraction=0.2)
+        assert aging.decay(0.5, 101.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDeadlineAging(deadline_seconds=0)
+        with pytest.raises(ValueError):
+            StepDeadlineAging(residual_fraction=1.5)
+        with pytest.raises(ValueError):
+            StepDeadlineAging().decay(1.0, -1.0)
+
+
+class TestPolicyInterchangeability:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ExponentialAging(tau_seconds=3600.0),
+            LinearAging(lifetime_seconds=7200.0),
+            StepDeadlineAging(deadline_seconds=1800.0),
+        ],
+    )
+    def test_all_policies_plug_into_combined_model(self, policy):
+        model = CombinedUtilityModel(aging=policy)
+        item = make_item(created_at=0.0)
+        fresh = model.utility(item, 6, now=0.0)
+        stale = model.utility(item, 6, now=4 * 3600.0)
+        assert fresh == pytest.approx(0.8)
+        assert 0.0 <= stale <= fresh
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ExponentialAging(tau_seconds=3600.0),
+            LinearAging(lifetime_seconds=7200.0),
+            StepDeadlineAging(deadline_seconds=1800.0, residual_fraction=0.1),
+        ],
+    )
+    def test_decay_monotone_in_age(self, policy):
+        ages = [0.0, 600.0, 3600.0, 7200.0, 36000.0]
+        values = [policy.decay(1.0, age) for age in ages]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(0.0 <= v <= 1.0 for v in values)

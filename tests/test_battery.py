@@ -1,0 +1,117 @@
+"""Tests for synthetic battery traces."""
+
+import random
+
+import pytest
+
+from repro.sim.battery import BatterySample, BatteryTrace, DiurnalBatteryModel
+
+DAY = 86400.0
+
+
+class TestBatterySample:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            BatterySample(time=0.0, level=1.5, charging=False)
+
+
+class TestBatteryTrace:
+    def trace(self):
+        return BatteryTrace(
+            [
+                BatterySample(0.0, 1.0, charging=False),
+                BatterySample(3600.0, 0.8, charging=False),
+                BatterySample(7200.0, 0.6, charging=True),
+            ]
+        )
+
+    def test_step_lookup_semantics(self):
+        trace = self.trace()
+        assert trace.level(0.0) == 1.0
+        assert trace.level(3599.0) == 1.0
+        assert trace.level(3600.0) == 0.8
+        assert trace.level(999_999.0) == 0.6  # last sample persists
+
+    def test_query_before_first_sample(self):
+        trace = BatteryTrace([BatterySample(100.0, 0.5, False)])
+        assert trace.level(0.0) == 0.5
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            BatteryTrace([])
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            BatteryTrace(
+                [BatterySample(0.0, 1.0, False), BatterySample(0.0, 0.9, False)]
+            )
+
+    def test_unsorted_samples_accepted_and_ordered(self):
+        trace = BatteryTrace(
+            [BatterySample(3600.0, 0.5, False), BatterySample(0.0, 1.0, False)]
+        )
+        assert trace.level(10.0) == 1.0
+
+
+class TestReplenishment:
+    def test_charging_grants_full_kappa(self):
+        trace = BatteryTrace([BatterySample(0.0, 0.3, charging=True)])
+        assert trace.replenishment(0.0, 3000.0) == 3000.0
+
+    def test_discharging_scales_with_level(self):
+        trace = BatteryTrace([BatterySample(0.0, 0.5, charging=False)])
+        assert trace.replenishment(0.0, 3000.0) == pytest.approx(1500.0)
+
+    def test_floor_at_twenty_percent(self):
+        trace = BatteryTrace([BatterySample(0.0, 0.10, charging=False)])
+        assert trace.replenishment(0.0, 3000.0) == pytest.approx(600.0)
+
+    def test_nearly_dead_battery_grants_nothing(self):
+        trace = BatteryTrace([BatterySample(0.0, 0.04, charging=False)])
+        assert trace.replenishment(0.0, 3000.0) == 0.0
+
+    def test_negative_kappa_rejected(self):
+        trace = BatteryTrace([BatterySample(0.0, 1.0, False)])
+        with pytest.raises(ValueError):
+            trace.replenishment(0.0, -1.0)
+
+
+class TestDiurnalModel:
+    def test_generates_requested_span(self):
+        model = DiurnalBatteryModel(rng=random.Random(1))
+        trace = model.generate(3 * DAY, sample_period_seconds=3600.0)
+        assert len(trace) == 3 * 24 + 1
+
+    def test_levels_stay_in_bounds(self):
+        model = DiurnalBatteryModel(rng=random.Random(2))
+        trace = model.generate(7 * DAY)
+        assert all(0.0 <= s.level <= 1.0 for s in trace)
+
+    def test_overnight_charging_recovers_battery(self):
+        """The battery should charge during the night window on most days."""
+        model = DiurnalBatteryModel(rng=random.Random(3), jitter=0.0)
+        trace = model.generate(2 * DAY)
+        # At 03:00 each night the device is plugged in.
+        assert trace.charging(3 * 3600.0)
+        assert trace.charging(DAY + 3 * 3600.0)
+
+    def test_daytime_drains(self):
+        model = DiurnalBatteryModel(rng=random.Random(4), jitter=0.0)
+        trace = model.generate(DAY)
+        # Level mid-afternoon below the post-charge morning level.
+        assert trace.level(15 * 3600.0) < trace.level(8 * 3600.0)
+
+    def test_deterministic_under_seed(self):
+        t1 = DiurnalBatteryModel(rng=random.Random(9)).generate(DAY)
+        t2 = DiurnalBatteryModel(rng=random.Random(9)).generate(DAY)
+        assert [s.level for s in t1] == [s.level for s in t2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalBatteryModel(drain_per_hour=0.0)
+        with pytest.raises(ValueError):
+            DiurnalBatteryModel(charge_per_hour=1.5)
+        with pytest.raises(ValueError):
+            DiurnalBatteryModel().generate(-1.0)
+        with pytest.raises(ValueError):
+            DiurnalBatteryModel().generate(100.0, sample_period_seconds=0.0)

@@ -1,0 +1,100 @@
+"""Tests for respondent heterogeneity and bootstrap confidence."""
+
+import pytest
+
+from repro.survey.bootstrap import (
+    BootstrapFit,
+    bootstrap_duration_fit,
+    synthesize_heterogeneous_duration_survey,
+)
+from repro.survey.synthesis import synthesize_duration_survey
+
+PROBES = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 39.0]
+
+
+class TestHeterogeneousSurvey:
+    def test_cdf_still_monotone(self):
+        survey = synthesize_heterogeneous_duration_survey(n_respondents=200)
+        cdf = survey.utilities_at(PROBES)
+        assert cdf == sorted(cdf)
+
+    def test_zero_spread_matches_population_curve(self):
+        """taste_spread=0 degenerates to the iid sampler's distribution."""
+        hetero = synthesize_heterogeneous_duration_survey(
+            n_respondents=4000, taste_spread=0.0, seed=5
+        )
+        plain = synthesize_duration_survey(n_respondents=4000, seed=5)
+        for probe in (10.0, 20.0, 30.0):
+            assert hetero.empirical_cdf(probe) == pytest.approx(
+                plain.empirical_cdf(probe), abs=0.03
+            )
+
+    def test_spread_overdisperses_stop_points(self):
+        """More taste spread pushes both tails outward.
+
+        The upper tail is censored at the probe horizon, so over-dispersion
+        shows up as a lower 10th percentile AND a larger censored fraction.
+        """
+        tight = synthesize_heterogeneous_duration_survey(
+            n_respondents=3000, taste_spread=0.0, seed=6
+        )
+        wide = synthesize_heterogeneous_duration_survey(
+            n_respondents=3000, taste_spread=0.8, seed=6
+        )
+
+        def q10(survey):
+            return sorted(survey.stop_seconds)[300]
+
+        def censored(survey):
+            return sum(1 for s in survey.stop_seconds if s > 40.0)
+
+        assert q10(wide) < q10(tight)
+        assert censored(wide) > censored(tight)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_heterogeneous_duration_survey(n_respondents=0)
+        with pytest.raises(ValueError):
+            synthesize_heterogeneous_duration_survey(taste_spread=-1.0)
+        with pytest.raises(ValueError):
+            synthesize_heterogeneous_duration_survey(b=0.0)
+
+
+class TestBootstrapFit:
+    @pytest.fixture(scope="class")
+    def small_panel_fit(self):
+        survey = synthesize_duration_survey(n_respondents=80, seed=11)
+        return bootstrap_duration_fit(survey, PROBES, n_bootstrap=120, seed=11)
+
+    def test_interval_brackets_point_estimate(self, small_panel_fit):
+        fit = small_panel_fit
+        assert fit.a_interval[0] <= fit.a_point <= fit.a_interval[1]
+        assert fit.b_interval[0] <= fit.b_point <= fit.b_interval[1]
+
+    def test_interval_contains_population_truth(self, small_panel_fit):
+        assert small_panel_fit.contains_truth(-0.397, 0.352)
+
+    def test_bigger_panel_tighter_interval(self):
+        small = bootstrap_duration_fit(
+            synthesize_duration_survey(n_respondents=40, seed=12),
+            PROBES, n_bootstrap=120, seed=12,
+        )
+        large = bootstrap_duration_fit(
+            synthesize_duration_survey(n_respondents=2000, seed=12),
+            PROBES, n_bootstrap=120, seed=12,
+        )
+        assert large.b_width() < small.b_width()
+        assert large.a_width() < small.a_width()
+
+    def test_validation(self):
+        survey = synthesize_duration_survey(n_respondents=40, seed=1)
+        with pytest.raises(ValueError):
+            bootstrap_duration_fit(survey, PROBES, n_bootstrap=5)
+        with pytest.raises(ValueError):
+            bootstrap_duration_fit(survey, PROBES, confidence=1.5)
+
+    def test_deterministic_under_seed(self):
+        survey = synthesize_duration_survey(n_respondents=60, seed=2)
+        a = bootstrap_duration_fit(survey, PROBES, n_bootstrap=50, seed=3)
+        b = bootstrap_duration_fit(survey, PROBES, n_bootstrap=50, seed=3)
+        assert a == b

@@ -1,0 +1,123 @@
+"""Tests for the data and energy budgets (Algorithm 2, steps 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budgets import DataBudget, EnergyBudget
+
+
+class TestDataBudget:
+    def test_starts_with_initial(self):
+        budget = DataBudget(theta_bytes=100, initial_bytes=50)
+        assert budget.available == 50
+
+    def test_replenish_adds_theta(self):
+        budget = DataBudget(theta_bytes=100)
+        budget.replenish()
+        budget.replenish()
+        assert budget.available == 200  # rollover accumulates
+
+    def test_debit_reduces(self):
+        budget = DataBudget(theta_bytes=100, initial_bytes=100)
+        budget.debit(30)
+        assert budget.available == 70
+
+    def test_debit_beyond_available_raises(self):
+        budget = DataBudget(theta_bytes=10, initial_bytes=10)
+        with pytest.raises(ValueError):
+            budget.debit(11)
+
+    def test_negative_debit_rejected(self):
+        budget = DataBudget(theta_bytes=10, initial_bytes=10)
+        with pytest.raises(ValueError):
+            budget.debit(-1)
+
+    def test_cap_limits_rollover(self):
+        budget = DataBudget(theta_bytes=100, cap_bytes=150)
+        budget.replenish()
+        budget.replenish()
+        assert budget.available == 150
+
+    def test_can_afford(self):
+        budget = DataBudget(theta_bytes=0, initial_bytes=10)
+        assert budget.can_afford(10)
+        assert not budget.can_afford(10.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DataBudget(theta_bytes=-1)
+        with pytest.raises(ValueError):
+            DataBudget(theta_bytes=1, initial_bytes=-1)
+        with pytest.raises(ValueError):
+            DataBudget(theta_bytes=1, cap_bytes=-5)
+
+    @given(
+        theta=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        debits=st.lists(st.floats(min_value=0, max_value=1e5), max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_negative(self, theta, debits):
+        budget = DataBudget(theta_bytes=theta)
+        for amount in debits:
+            budget.replenish()
+            if budget.can_afford(amount):
+                budget.debit(amount)
+            assert budget.available >= 0
+
+
+class TestEnergyBudget:
+    def test_starts_at_kappa_by_default(self):
+        budget = EnergyBudget(kappa_joules=3000)
+        assert budget.available == 3000
+
+    def test_replenish_only_when_at_or_below_kappa(self):
+        budget = EnergyBudget(kappa_joules=100, initial_joules=100)
+        accepted = budget.replenish(50)
+        assert accepted == 50
+        assert budget.available == 150
+        # Now above kappa: replenishment refused.
+        assert budget.replenish(50) == 0.0
+        assert budget.available == 150
+
+    def test_debit_floors_at_zero(self):
+        # The [.]^+ in the queue update (Eq. 5).
+        budget = EnergyBudget(kappa_joules=100, initial_joules=10)
+        budget.debit(50)
+        assert budget.available == 0.0
+
+    def test_deviation_from_kappa(self):
+        budget = EnergyBudget(kappa_joules=100, initial_joules=40)
+        assert budget.deviation_from_kappa() == -60
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EnergyBudget(kappa_joules=0)
+        with pytest.raises(ValueError):
+            EnergyBudget(kappa_joules=10, initial_joules=-1)
+
+    def test_negative_flows_rejected(self):
+        budget = EnergyBudget(kappa_joules=10)
+        with pytest.raises(ValueError):
+            budget.replenish(-1)
+        with pytest.raises(ValueError):
+            budget.debit(-1)
+
+    @given(
+        flows=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500),
+                st.floats(min_value=0, max_value=500),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hovers_with_bounded_spend(self, flows):
+        """P(t) stays within [0, kappa + max single replenishment]."""
+        kappa = 100.0
+        budget = EnergyBudget(kappa_joules=kappa)
+        for replenish, debit in flows:
+            budget.replenish(replenish)
+            budget.debit(debit)
+            assert 0.0 <= budget.available <= kappa + 500.0

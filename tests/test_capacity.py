@@ -1,0 +1,141 @@
+"""Tests for broker-side capacity management (satisfied subscribers)."""
+
+import pytest
+
+from repro.pubsub.broker import Broker, DeliveryMode, Notification
+from repro.pubsub.capacity import (
+    CapacityConfig,
+    CapacityLimitedBroker,
+    select_satisfied_subscribers,
+)
+from repro.pubsub.subscriptions import SubscriptionStore
+from repro.pubsub.topics import Publication, Topic, TopicKind
+
+
+def notif(notification_id, recipient):
+    return Notification(
+        notification_id=notification_id,
+        recipient_id=recipient,
+        publication=Publication(
+            topic=Topic(TopicKind.FRIEND, 0), publisher_id=0, timestamp=1.0
+        ),
+    )
+
+
+def demands(spec: dict[int, int]) -> list[Notification]:
+    """spec: user -> how many notifications they are matched to."""
+    notifications = []
+    next_id = 0
+    for user, count in spec.items():
+        for _ in range(count):
+            notifications.append(notif(next_id, user))
+            next_id += 1
+    return notifications
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityConfig(broker_capacity=-1)
+        with pytest.raises(ValueError):
+            CapacityConfig(broker_capacity=1, default_user_capacity=-1)
+        with pytest.raises(ValueError):
+            CapacityConfig(broker_capacity=1, user_capacity_overrides={1: -1})
+
+    def test_overrides(self):
+        config = CapacityConfig(
+            broker_capacity=10, default_user_capacity=5,
+            user_capacity_overrides={7: 1},
+        )
+        assert config.user_capacity(7) == 1
+        assert config.user_capacity(8) == 5
+
+
+class TestGreedySelection:
+    def test_all_fit_all_satisfied(self):
+        selection = select_satisfied_subscribers(
+            demands({1: 2, 2: 3}), CapacityConfig(broker_capacity=10)
+        )
+        assert selection.satisfied_users == {1, 2}
+        assert len(selection.delivered) == 5
+        assert selection.dropped == []
+
+    def test_smallest_demands_satisfied_first(self):
+        """Greedy maximizes the satisfied COUNT, not delivered volume."""
+        selection = select_satisfied_subscribers(
+            demands({1: 5, 2: 1, 3: 2}), CapacityConfig(broker_capacity=4)
+        )
+        assert selection.satisfied_users == {2, 3}
+        assert selection.satisfied_count == 2
+
+    def test_leftover_capacity_partially_serves(self):
+        selection = select_satisfied_subscribers(
+            demands({1: 1, 2: 5}), CapacityConfig(broker_capacity=3)
+        )
+        assert selection.satisfied_users == {1}
+        delivered_to_2 = [n for n in selection.delivered if n.recipient_id == 2]
+        assert len(delivered_to_2) == 2  # the leftover 2 of capacity 3
+        assert len(selection.dropped) == 3
+
+    def test_user_capacity_blocks_satisfaction(self):
+        config = CapacityConfig(
+            broker_capacity=100, default_user_capacity=50,
+            user_capacity_overrides={1: 2},
+        )
+        selection = select_satisfied_subscribers(demands({1: 4}), config)
+        assert selection.satisfied_users == frozenset()
+        assert len(selection.delivered) == 2  # partial, capped by the user
+        assert len(selection.dropped) == 2
+
+    def test_zero_capacity_drops_everything(self):
+        selection = select_satisfied_subscribers(
+            demands({1: 2}), CapacityConfig(broker_capacity=0)
+        )
+        assert selection.delivered == []
+        assert len(selection.dropped) == 2
+
+    def test_greedy_count_is_optimal_on_small_cases(self):
+        """Compare against brute force over subscriber subsets."""
+        import itertools
+
+        spec = {1: 3, 2: 2, 3: 2, 4: 4}
+        config = CapacityConfig(broker_capacity=7)
+        selection = select_satisfied_subscribers(demands(spec), config)
+        best = 0
+        for r in range(len(spec) + 1):
+            for subset in itertools.combinations(spec, r):
+                if sum(spec[u] for u in subset) <= config.broker_capacity:
+                    best = max(best, len(subset))
+        assert selection.satisfied_count == best
+
+
+class TestCapacityLimitedBroker:
+    def build(self, capacity):
+        store = SubscriptionStore()
+        topic = Topic(TopicKind.ARTIST, 1)
+        for user in (1, 2, 3):
+            store.subscribe(user, topic)
+        inner = Broker(store, default_mode=DeliveryMode.ROUND)
+        wrapper = CapacityLimitedBroker(
+            inner, CapacityConfig(broker_capacity=capacity)
+        )
+        received = []
+        wrapper.add_sink(received.append)
+        return wrapper, topic, received
+
+    def test_flush_respects_capacity(self):
+        wrapper, topic, received = self.build(capacity=2)
+        wrapper.publish(
+            Publication(topic=topic, publisher_id=99, timestamp=1.0)
+        )
+        selection = wrapper.flush_round()
+        assert len(received) == 2
+        assert wrapper.total_delivered == 2
+        assert wrapper.total_dropped == 1
+        assert selection.satisfied_count == 2
+
+    def test_rejects_inner_broker_with_sinks(self):
+        inner = Broker()
+        inner.add_sink(lambda n: None)
+        with pytest.raises(ValueError):
+            CapacityLimitedBroker(inner, CapacityConfig(broker_capacity=1))

@@ -1,0 +1,144 @@
+"""Tests for the richnote CLI."""
+
+import pytest
+
+from repro.cli import _parse_method, build_parser, main
+from repro.experiments.config import Method
+from repro.trace.generator import Workload
+from repro.trace.io import read_trace
+
+
+class TestMethodParsing:
+    def test_richnote(self):
+        spec = _parse_method("richnote")
+        assert spec.method is Method.RICHNOTE
+
+    def test_baselines_with_level(self):
+        assert _parse_method("fifo:3").fixed_level == 3
+        assert _parse_method("util:2").method is Method.UTIL
+
+    def test_errors(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_method("richnote:3")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_method("fifo")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_method("bogus:1")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate-trace"])
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.jsonl"
+    code = main(
+        ["--seed", "5", "generate-trace", "--preset", "small", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestCommands:
+    def test_generate_trace_writes_valid_jsonl(self, trace_path, capsys):
+        records = read_trace(trace_path)
+        assert records
+        workload = Workload.from_records(records)
+        assert workload.config.duration_hours >= 47
+
+    def test_train(self, trace_path, capsys):
+        assert main(["train", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out
+        assert "precision=" in out
+
+    def test_run(self, trace_path, capsys):
+        code = main(
+            [
+                "run",
+                "--trace", str(trace_path),
+                "--method", "richnote",
+                "--budget", "5",
+                "--users", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RichNote @ 5 MB/week" in out
+        assert "delivery_ratio" in out
+
+    def test_sweep(self, trace_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--trace", str(trace_path),
+                "--budgets", "2,20",
+                "--methods", "richnote,util:3",
+                "--users", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig3a_delivery_ratio" in out
+        assert "UTIL-L3" in out
+
+    def test_stats(self, trace_path, capsys):
+        assert main(["stats", "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "notifications :" in out
+        assert "friend fraction" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey", "--respondents", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 2(a)" in out
+        assert "logarithmic" in out
+
+
+class TestWorkloadFromRecords:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Workload.from_records([])
+
+    def test_duration_inferred_and_sorted(self, trace_path):
+        records = read_trace(trace_path)
+        shuffled = list(reversed(records))
+        workload = Workload.from_records(shuffled)
+        timestamps = [r.timestamp for r in workload.records]
+        assert timestamps == sorted(timestamps)
+        assert workload.catalog is None
+
+
+class TestFiguresCommand:
+    def test_writes_artifacts(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        code = main(
+            [
+                "figures",
+                "--trace", str(trace_path),
+                "--out", str(out),
+                "--budgets", "2,20",
+                "--users", "3",
+            ]
+        )
+        assert code == 0
+        names = {p.name for p in out.iterdir()}
+        assert "fig4a_total_utility.csv" in names
+        assert "tables.txt" in names
+        text = (out / "tables.txt").read_text()
+        assert "fig3a_delivery_ratio" in text
+        assert "presentation mix" in text
+        # CSVs round-trip through the loader.
+        from repro.experiments.reporting import load_series_csv
+
+        series = load_series_csv(out / "fig4a_total_utility.csv")
+        assert "RichNote" in series.series

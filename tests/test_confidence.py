@@ -1,0 +1,73 @@
+"""Tests for multi-seed replication."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.confidence import (
+    MetricSummary,
+    compare_replicated,
+    dominates_across_seeds,
+    replicate_experiment,
+)
+
+
+class TestMetricSummary:
+    def test_moments(self):
+        summary = MetricSummary(name="m", values=(1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert (summary.minimum, summary.maximum) == (1.0, 3.0)
+
+    def test_single_value_zero_std(self):
+        assert MetricSummary(name="m", values=(5.0,)).std == 0.0
+
+    def test_dominance(self):
+        winner = MetricSummary(name="m", values=(5.0, 6.0))
+        loser = MetricSummary(name="m", values=(1.0, 4.9))
+        assert dominates_across_seeds(winner, loser)
+        assert not dominates_across_seeds(loser, winner)
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        config = ExperimentConfig(weekly_budget_mb=5.0)
+        return replicate_experiment(
+            MethodSpec(Method.RICHNOTE), config, seeds=(101, 202), top_users=5
+        )
+
+    def test_metrics_collected_per_seed(self, replicated):
+        assert replicated.seeds == (101, 202)
+        assert "total_utility" in replicated.metrics
+        assert len(replicated.metrics["total_utility"].values) == 2
+
+    def test_worlds_actually_differ(self, replicated):
+        values = replicated.metrics["total_utility"].values
+        assert values[0] != values[1]
+
+    def test_summary_table_renders(self, replicated):
+        table = replicated.summary_table()
+        assert "RichNote" in table
+        assert "total_utility" in table
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_experiment(
+                MethodSpec(Method.RICHNOTE), ExperimentConfig(), seeds=()
+            )
+
+
+class TestSeedRobustClaims:
+    def test_richnote_recall_dominates_fifo_across_seeds(self):
+        """The Fig. 3(c) claim holds in every regenerated world."""
+        config = ExperimentConfig(weekly_budget_mb=5.0)
+        summaries = compare_replicated(
+            [MethodSpec(Method.RICHNOTE), MethodSpec(Method.FIFO, 3)],
+            config,
+            seeds=(101, 202),
+            metric="recall",
+            top_users=5,
+        )
+        assert dominates_across_seeds(
+            summaries["RichNote"], summaries["FIFO-L3"]
+        )

@@ -1,0 +1,139 @@
+"""Tests for content items and presentation ladders."""
+
+import pytest
+
+from repro.core.content import ContentItem, ContentKind, Presentation, PresentationLadder
+
+
+def make_ladder():
+    return PresentationLadder(
+        [
+            Presentation(0, 0, 0.0, "none"),
+            Presentation(1, 200, 0.01, "meta"),
+            Presentation(2, 100_200, 0.26, "5s"),
+            Presentation(3, 200_200, 0.50, "10s"),
+        ]
+    )
+
+
+class TestPresentation:
+    def test_level_zero_must_be_empty(self):
+        with pytest.raises(ValueError):
+            Presentation(0, 100, 0.0)
+        with pytest.raises(ValueError):
+            Presentation(0, 0, 0.5)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Presentation(-1, 0, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Presentation(1, -5, 0.1)
+
+    def test_negative_utility_rejected(self):
+        with pytest.raises(ValueError):
+            Presentation(1, 5, -0.1)
+
+    def test_valid_presentation(self):
+        p = Presentation(2, 1000, 0.5, "demo")
+        assert p.level == 2
+        assert p.size_bytes == 1000
+
+
+class TestPresentationLadder:
+    def test_ladder_orders_by_level(self):
+        ladder = PresentationLadder(
+            [
+                Presentation(1, 200, 0.01),
+                Presentation(0, 0, 0.0),
+                Presentation(2, 400, 0.5),
+            ]
+        )
+        assert [p.level for p in ladder] == [0, 1, 2]
+
+    def test_missing_level_zero_rejected(self):
+        with pytest.raises(ValueError):
+            PresentationLadder([Presentation(1, 200, 0.1)])
+
+    def test_gap_in_levels_rejected(self):
+        with pytest.raises(ValueError):
+            PresentationLadder(
+                [Presentation(0, 0, 0.0), Presentation(2, 400, 0.5)]
+            )
+
+    def test_sizes_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="sizes must strictly increase"):
+            PresentationLadder(
+                [
+                    Presentation(0, 0, 0.0),
+                    Presentation(1, 200, 0.01),
+                    Presentation(2, 200, 0.5),
+                ]
+            )
+
+    def test_utilities_must_strictly_increase(self):
+        with pytest.raises(ValueError, match="utilities must strictly increase"):
+            PresentationLadder(
+                [
+                    Presentation(0, 0, 0.0),
+                    Presentation(1, 200, 0.5),
+                    Presentation(2, 400, 0.5),
+                ]
+            )
+
+    def test_lookup_and_max_level(self):
+        ladder = make_ladder()
+        assert ladder.max_level == 3
+        assert ladder.size(2) == 100_200
+        assert ladder.utility(3) == 0.50
+        assert len(ladder) == 4
+
+    def test_out_of_range_lookup(self):
+        ladder = make_ladder()
+        with pytest.raises(IndexError):
+            ladder[4]
+        with pytest.raises(IndexError):
+            ladder[-1]
+
+    def test_total_size_sums_all_presentations(self):
+        ladder = make_ladder()
+        assert ladder.total_size() == 0 + 200 + 100_200 + 200_200
+
+    def test_is_concave_for_diminishing_gains(self):
+        # gains: 0.01, 0.25, 0.24 -> first pair violates diminishing returns
+        assert not make_ladder().is_concave()
+        concave = PresentationLadder(
+            [
+                Presentation(0, 0, 0.0),
+                Presentation(1, 100, 0.5),
+                Presentation(2, 200, 0.8),
+                Presentation(3, 300, 0.9),
+            ]
+        )
+        assert concave.is_concave()
+
+
+class TestContentItem:
+    def test_combined_utility_is_product(self):
+        item = ContentItem(
+            item_id=1,
+            user_id=7,
+            kind=ContentKind.FRIEND_FEED,
+            created_at=0.0,
+            ladder=make_ladder(),
+            content_utility=0.5,
+        )
+        assert item.combined_utility(3) == pytest.approx(0.25)
+        assert item.combined_utility(0) == 0.0
+
+    def test_content_utility_bounds(self):
+        with pytest.raises(ValueError):
+            ContentItem(
+                item_id=1,
+                user_id=7,
+                kind=ContentKind.FRIEND_FEED,
+                created_at=0.0,
+                ladder=make_ladder(),
+                content_utility=1.5,
+            )

@@ -1,0 +1,111 @@
+"""Tests for feature extraction and training-set construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.presentations import build_audio_ladder
+from repro.experiments.adapters import record_to_item
+from repro.ml.dataset import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    build_training_set,
+    class_balance,
+)
+from repro.pubsub.topics import TopicKind
+from repro.trace.records import NotificationRecord
+
+
+def record(**overrides):
+    base = dict(
+        notification_id=1,
+        recipient_id=2,
+        sender_id=3,
+        kind=TopicKind.FRIEND,
+        track_id=4,
+        album_id=5,
+        artist_id=6,
+        track_popularity=70,
+        album_popularity=65,
+        artist_popularity=80,
+        tie_strength=0.4,
+        is_friend=True,
+        favorite_genre=True,
+        timestamp=45_000.0,  # Monday 12:30
+        hovered=True,
+        clicked=False,
+        click_time=None,
+    )
+    base.update(overrides)
+    return NotificationRecord(**base)
+
+
+class TestFeatureExtractor:
+    def test_vector_width_matches_names(self):
+        extractor = FeatureExtractor()
+        vector = extractor.features_for_record(record())
+        assert len(vector) == extractor.n_features == len(FEATURE_NAMES)
+
+    def test_values_normalized(self):
+        vector = FeatureExtractor().features_for_record(record())
+        named = dict(zip(FEATURE_NAMES, vector))
+        assert named["tie_strength"] == 0.4
+        assert named["track_popularity"] == 0.70
+        assert named["hour_of_day"] == pytest.approx(12.5 / 24.0)
+        assert named["is_weekend"] == 0.0
+        assert named["is_night"] == 0.0
+        assert named["kind_friend"] == 1.0
+        assert named["kind_artist"] == 0.0
+
+    def test_kind_one_hot_exclusive(self):
+        extractor = FeatureExtractor()
+        for kind in TopicKind:
+            vector = extractor.features_for_record(
+                record(kind=kind, tie_strength=0.0, is_friend=False)
+            )
+            named = dict(zip(FEATURE_NAMES, vector))
+            one_hot = [named["kind_friend"], named["kind_artist"],
+                       named["kind_playlist"]]
+            assert sum(one_hot) == 1.0
+
+    def test_item_vector_matches_record_vector(self):
+        """Train/serve parity: item metadata rebuilds the exact vector."""
+        extractor = FeatureExtractor()
+        r = record()
+        item = record_to_item(r, build_audio_ladder())
+        assert extractor.features_for_item(item) == extractor.features_for_record(r)
+
+    def test_item_missing_metadata_raises(self):
+        from repro.core.content import ContentItem, ContentKind
+
+        extractor = FeatureExtractor()
+        bare = ContentItem(
+            item_id=1,
+            user_id=1,
+            kind=ContentKind.FRIEND_FEED,
+            created_at=0.0,
+            ladder=build_audio_ladder(),
+        )
+        with pytest.raises(KeyError):
+            extractor.features_for_item(bare)
+
+
+class TestTrainingSet:
+    def test_filters_unattended(self):
+        records = [
+            record(notification_id=1, hovered=True, clicked=False),
+            record(notification_id=2, hovered=False, clicked=False),
+            record(notification_id=3, hovered=True, clicked=True,
+                   click_time=50_000.0),
+        ]
+        x, y = build_training_set(records)
+        assert x.shape == (2, len(FEATURE_NAMES))
+        assert list(y) == [0, 1]
+
+    def test_all_unattended_raises(self):
+        with pytest.raises(ValueError):
+            build_training_set([record(hovered=False)])
+
+    def test_class_balance(self):
+        assert class_balance([0, 1, 1, 1]) == 0.75
+        with pytest.raises(ValueError):
+            class_balance(np.array([]))

@@ -1,0 +1,63 @@
+"""Tests for the mobile device model."""
+
+import pytest
+
+from repro.sim.battery import BatterySample, BatteryTrace
+from repro.sim.device import MobileDevice
+from repro.sim.network import CellularOnlyNetwork, MarkovNetworkModel, NetworkState
+
+
+def make_device(network=None, charging=True):
+    battery = BatteryTrace([BatterySample(0.0, 1.0, charging=charging)])
+    return MobileDevice(
+        user_id=1, network=network or CellularOnlyNetwork(), battery=battery
+    )
+
+
+class TestRounds:
+    def test_begin_round_counts_connectivity(self):
+        device = make_device()
+        for _ in range(3):
+            device.begin_round(0.0, 3600.0)
+        assert device.stats.rounds_total == 3
+        assert device.stats.rounds_connected == 3
+
+    def test_capacity_from_network(self):
+        device = make_device()
+        assert device.round_capacity_bytes(8.0) == pytest.approx(
+            8.0 * device.network.bandwidth
+        )
+
+    def test_replenishment_passthrough(self):
+        device = make_device(charging=True)
+        assert device.replenishment(0.0, 3000.0) == 3000.0
+
+
+class TestEnergyEstimation:
+    def test_estimate_uses_amortized_overhead(self):
+        device = make_device()
+        estimate = device.estimate_energy(100_000)
+        full = device.energy_model.item_energy(NetworkState.CELL, 100_000)
+        assert 0 < estimate < full
+
+    def test_estimate_infinite_when_off(self):
+        off = MarkovNetworkModel(initial_state=NetworkState.OFF)
+        device = make_device(network=off)
+        assert device.estimate_energy(100) == float("inf")
+
+
+class TestDownload:
+    def test_batch_updates_stats(self):
+        device = make_device()
+        energy = device.download_batch([1000, 2000, 0])
+        assert energy > 0
+        assert device.stats.bytes_downloaded == 3000
+        assert device.stats.energy_spent_joules == pytest.approx(energy)
+        # The zero-size entry is not a notification.
+        assert device.stats.notifications_received == 2
+
+    def test_download_while_off_raises(self):
+        off = MarkovNetworkModel(initial_state=NetworkState.OFF)
+        device = make_device(network=off)
+        with pytest.raises(RuntimeError):
+            device.download_batch([100])

@@ -1,0 +1,91 @@
+"""Tests for the transfer-energy model (Balasubramanian et al. fits)."""
+
+import pytest
+
+from repro.sim.energy import (
+    GSM_PROFILE,
+    THREEG_PROFILE,
+    WIFI_PROFILE,
+    RadioProfile,
+    TransferEnergyModel,
+)
+from repro.sim.network import NetworkState
+
+
+class TestRadioProfile:
+    def test_linear_fit(self):
+        profile = RadioProfile(per_kb_joules=0.01, overhead_joules=2.0)
+        assert profile.transfer_energy(1024) == pytest.approx(0.01 + 2.0)
+
+    def test_zero_bytes_costs_nothing(self):
+        assert THREEG_PROFILE.transfer_energy(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            THREEG_PROFILE.transfer_energy(-1)
+
+    def test_published_constants(self):
+        assert THREEG_PROFILE == RadioProfile(0.025, 3.5)
+        assert GSM_PROFILE == RadioProfile(0.036, 1.7)
+        assert WIFI_PROFILE == RadioProfile(0.007, 5.9)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            RadioProfile(per_kb_joules=-0.1, overhead_joules=0.0)
+
+
+class TestTransferEnergyModel:
+    def test_wifi_cheaper_per_byte_than_cell(self):
+        model = TransferEnergyModel()
+        size = 10 * 1024 * 1024  # large enough for overhead to wash out
+        assert model.item_energy(NetworkState.WIFI, size) < model.item_energy(
+            NetworkState.CELL, size
+        )
+
+    def test_cell_overhead_dominates_small_transfers(self):
+        """3G tail energy dominates a 200 B metadata notification."""
+        model = TransferEnergyModel()
+        energy = model.item_energy(NetworkState.CELL, 200)
+        assert energy == pytest.approx(0.025 * 200 / 1024 + 3.5)
+        assert 3.5 / energy > 0.99
+
+    def test_no_transfers_while_off(self):
+        model = TransferEnergyModel()
+        with pytest.raises(ValueError):
+            model.item_energy(NetworkState.OFF, 100)
+
+    def test_batch_amortizes_overhead(self):
+        model = TransferEnergyModel()
+        sizes = [100_000] * 10
+        batched = model.batch_energy(NetworkState.CELL, sizes)
+        separate = sum(model.item_energy(NetworkState.CELL, s) for s in sizes)
+        assert batched == pytest.approx(separate - 9 * 3.5)
+
+    def test_empty_batch_costs_nothing(self):
+        model = TransferEnergyModel()
+        assert model.batch_energy(NetworkState.CELL, []) == 0.0
+        assert model.batch_energy(NetworkState.CELL, [0, 0]) == 0.0
+
+    def test_batch_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            TransferEnergyModel().batch_energy(NetworkState.CELL, [10, -1])
+
+    def test_marginal_energy_has_no_overhead(self):
+        model = TransferEnergyModel()
+        assert model.marginal_energy(NetworkState.CELL, 1024) == pytest.approx(0.025)
+
+    def test_selection_estimate_between_marginal_and_full(self):
+        model = TransferEnergyModel()
+        size = 50_000
+        marginal = model.marginal_energy(NetworkState.CELL, size)
+        full = model.item_energy(NetworkState.CELL, size)
+        estimate = model.estimate_for_selection(NetworkState.CELL, size, 10)
+        assert marginal < estimate < full
+
+    def test_selection_estimate_zero_for_zero_bytes(self):
+        model = TransferEnergyModel()
+        assert model.estimate_for_selection(NetworkState.CELL, 0) == 0.0
+
+    def test_selection_estimate_validates_batch(self):
+        with pytest.raises(ValueError):
+            TransferEnergyModel().estimate_for_selection(NetworkState.CELL, 10, 0)

@@ -1,0 +1,133 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda s: fired.append("b"))
+        sim.schedule_at(1.0, lambda s: fired.append("a"))
+        sim.schedule_at(9.0, lambda s: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.schedule_at(3.0, lambda s, t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda s: s.schedule_at(2.0, lambda s2: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(4.0, lambda s: s.schedule_after(2.0, lambda s2: times.append(s2.now)))
+        sim.run()
+        assert times == [6.0]
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if s.now < 3:
+                s.schedule_at(s.now + 1, chain)
+
+        sim.schedule_at(0.0, chain)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda s: fired.append(1))
+        sim.schedule_at(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()  # the remaining event still fires later
+        assert fired == [1, 10]
+
+    def test_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever(s):
+            s.schedule_at(s.now + 1, forever)
+
+        sim.schedule_at(0.0, forever)
+        sim.run(max_events=25)
+        assert sim.processed_events == 25
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda s: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule_at(1.0, lambda s: None)
+        sim.schedule_at(2.0, lambda s: None)
+        first.cancel()
+        assert sim.peek_next_time() == 2.0
+
+
+class TestPeriodic:
+    def test_periodic_fires_on_schedule(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(10.0, lambda s: times.append(s.now), start=10.0, until=45.0)
+        sim.run()
+        assert times == [10.0, 20.0, 30.0, 40.0]
+
+    def test_periodic_requires_positive_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(0.0, lambda s: None)
+
+    def test_periodic_sees_state_between_rounds(self):
+        sim = Simulator()
+        counter = {"arrivals": 0, "seen": []}
+        sim.schedule_at(5.0, lambda s: counter.__setitem__("arrivals", 1))
+        sim.schedule_periodic(
+            4.0,
+            lambda s: counter["seen"].append(counter["arrivals"]),
+            start=4.0,
+            until=9.0,
+        )
+        sim.run()
+        assert counter["seen"] == [0, 1]

@@ -1,0 +1,137 @@
+"""Failure-injection tests: degenerate devices, dead batteries, outages.
+
+The scheduler must degrade gracefully -- hold items, roll budget over, and
+recover -- rather than crash or leak queue state, under:
+
+* a device that never connects;
+* a long outage followed by reconnection (burst drain);
+* a battery that is dead for the whole horizon (no energy replenishment);
+* an empty round stream (no arrivals at all);
+* items whose ladder is just {not sent, metadata}.
+"""
+
+import pytest
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem, ContentKind, Presentation, PresentationLadder
+from repro.core.presentations import build_audio_ladder
+from repro.core.scheduler import RichNoteScheduler
+from repro.sim.battery import BatterySample, BatteryTrace
+from repro.sim.device import MobileDevice
+from repro.sim.network import NetworkState, TraceConnectivity
+
+LADDER = build_audio_ladder()
+ROUND = 3600.0
+
+
+def make_scheduler(network_states, battery_level=0.8, charging=False, theta=500_000.0):
+    device = MobileDevice(
+        user_id=1,
+        network=TraceConnectivity(network_states),
+        battery=BatteryTrace(
+            [BatterySample(0.0, battery_level, charging=charging)]
+        ),
+    )
+    return RichNoteScheduler(
+        device=device,
+        data_budget=DataBudget(theta_bytes=theta),
+        energy_budget=EnergyBudget(kappa_joules=3000.0),
+    )
+
+
+def make_item(item_id, created_at=0.0, ladder=LADDER):
+    return ContentItem(
+        item_id=item_id,
+        user_id=1,
+        kind=ContentKind.FRIEND_FEED,
+        created_at=created_at,
+        ladder=ladder,
+        content_utility=0.6,
+    )
+
+
+class TestPermanentOutage:
+    def test_items_held_forever_without_crash(self):
+        scheduler = make_scheduler([NetworkState.OFF])
+        for item_id in range(5):
+            scheduler.enqueue(make_item(item_id))
+        for round_index in range(1, 20):
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            assert result.deliveries == []
+        assert scheduler.pending_items == 5
+        # Budget accumulated untouched for 19 rounds.
+        assert scheduler.data_budget.available == pytest.approx(19 * 500_000.0)
+
+
+class TestOutageRecovery:
+    def test_burst_drain_after_reconnect(self):
+        states = [NetworkState.OFF] * 5 + [NetworkState.CELL]
+        scheduler = make_scheduler(states, theta=300_000.0)
+        for item_id in range(4):
+            scheduler.enqueue(make_item(item_id))
+        deliveries = []
+        for round_index in range(1, 7):
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            deliveries.extend(result.deliveries)
+        # Everything drains in the reconnect round, with rolled-over budget
+        # affording rich presentations.
+        assert len(deliveries) == 4
+        assert all(d.time == 6 * ROUND for d in deliveries)
+        assert max(d.level for d in deliveries) >= 3
+
+
+class TestDeadBattery:
+    def test_energy_budget_starves_but_data_flow_continues(self):
+        """Below 5% charge e(t)=0: P(t) drains to 0 and stays there.
+
+        The energy term then maximally penalizes expensive presentations,
+        but the (soft) Lyapunov constraint must not deadlock delivery.
+        """
+        scheduler = make_scheduler(
+            [NetworkState.CELL], battery_level=0.03, charging=False
+        )
+        delivered = 0
+        for round_index in range(1, 6):
+            scheduler.enqueue(make_item(round_index, created_at=round_index * ROUND - 1))
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            delivered += len(result.deliveries)
+        assert delivered == 5
+        # No replenishment ever accepted: P(t) only drains.
+        assert scheduler.energy_budget.available <= 3000.0
+
+
+class TestEmptyStream:
+    def test_rounds_without_arrivals_are_noops(self):
+        scheduler = make_scheduler([NetworkState.CELL])
+        for round_index in range(1, 10):
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            assert result.deliveries == []
+            assert result.queue_length_after == 0
+            assert result.backlog_bytes_after == 0.0
+
+
+class TestMinimalLadder:
+    def test_metadata_only_ladder_schedulable(self):
+        tiny = PresentationLadder(
+            [
+                Presentation(0, 0, 0.0),
+                Presentation(1, 200, 1.0, "metadata"),
+            ]
+        )
+        scheduler = make_scheduler([NetworkState.CELL], theta=1000.0)
+        scheduler.enqueue(make_item(1, ladder=tiny))
+        result = scheduler.run_round(ROUND, ROUND)
+        assert [d.level for d in result.deliveries] == [1]
+
+    def test_mixed_ladders_in_one_queue(self):
+        """Items with different ladder shapes coexist in one MCKP round."""
+        tiny = PresentationLadder(
+            [Presentation(0, 0, 0.0), Presentation(1, 200, 1.0)]
+        )
+        scheduler = make_scheduler([NetworkState.CELL], theta=10_000_000.0)
+        scheduler.enqueue(make_item(1, ladder=tiny))
+        scheduler.enqueue(make_item(2, ladder=LADDER))
+        result = scheduler.run_round(ROUND, ROUND)
+        levels = {d.item.item_id: d.level for d in result.deliveries}
+        assert levels[1] == 1
+        assert levels[2] == LADDER.max_level

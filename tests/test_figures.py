@@ -1,0 +1,142 @@
+"""Tests for the figure data producers and text reporting."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.figures import (
+    figure3_and_4,
+    figure5a_fixed_levels,
+    figure5b_presentation_mix,
+    figure5d_user_categories,
+    paper_method_specs,
+    v_sensitivity,
+)
+from repro.experiments.reporting import (
+    render_level_mix,
+    render_sensitivity,
+    render_series_table,
+    render_user_categories,
+)
+from repro.experiments.runner import UtilityAnnotations
+from repro.experiments.workloads import eval_workload
+from repro.experiments.config import NetworkMode
+
+BUDGETS = (2.0, 20.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return eval_workload("small")
+
+
+@pytest.fixture(scope="module")
+def annotations(workload):
+    return UtilityAnnotations.train(workload, seed=1)
+
+
+@pytest.fixture(scope="module")
+def users(workload):
+    return workload.top_users(4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(seed=1)
+
+
+class TestPaperSpecs:
+    def test_five_methods(self):
+        labels = [spec.label for spec in paper_method_specs()]
+        assert labels == ["RichNote", "FIFO-L2", "UTIL-L2", "FIFO-L3", "UTIL-L3"]
+
+
+class TestFigure34:
+    def test_all_series_produced(self, workload, annotations, users, config):
+        figs = figure3_and_4(
+            workload, BUDGETS, config, annotations, users,
+            specs=[MethodSpec(Method.RICHNOTE), MethodSpec(Method.UTIL, 3)],
+        )
+        assert set(figs) == {
+            "fig3a_delivery_ratio",
+            "fig3b_delivered_mb",
+            "fig3c_recall",
+            "fig3d_precision",
+            "fig4a_total_utility",
+            "fig4b_clicked_utility",
+            "fig4c_energy_kj",
+            "fig4d_delay_s",
+        }
+        for series in figs.values():
+            assert set(series.series) == {"RichNote", "UTIL-L3"}
+            for label in series.series:
+                assert len(series.row(label)) == len(BUDGETS)
+
+    def test_tables_render(self, workload, annotations, users, config):
+        figs = figure3_and_4(
+            workload, BUDGETS, config, annotations, users,
+            specs=[MethodSpec(Method.RICHNOTE)],
+        )
+        text = render_series_table(figs["fig3a_delivery_ratio"])
+        assert "RichNote" in text
+        assert "2MB" in text and "20MB" in text
+
+
+class TestFigure5:
+    def test_fig5a_includes_all_fixed_levels(
+        self, workload, annotations, users, config
+    ):
+        series = figure5a_fixed_levels(
+            workload, BUDGETS, config, annotations, users, max_level=4
+        )
+        assert set(series.series) == {"RichNote", "UTIL-L2", "UTIL-L3", "UTIL-L4"}
+
+    def test_fig5b_mix_fractions_sum_to_one(
+        self, workload, annotations, users, config
+    ):
+        series = figure5b_presentation_mix(
+            workload, BUDGETS, config, annotations, users
+        )
+        for budget in BUDGETS:
+            assert sum(series.mix[budget].values()) == pytest.approx(1.0)
+        assert "L1" in render_level_mix(series)
+
+    def test_fig5b_richer_levels_with_more_budget(
+        self, workload, annotations, users, config
+    ):
+        series = figure5b_presentation_mix(
+            workload, (1.0, 50.0), config, annotations, users
+        )
+        rich_low = sum(
+            frac for level, frac in series.mix[1.0].items() if level >= 4
+        )
+        rich_high = sum(
+            frac for level, frac in series.mix[50.0].items() if level >= 4
+        )
+        assert rich_high > rich_low
+
+    def test_fig5c_markov_runs(self, workload, annotations, users, config):
+        series = figure5b_presentation_mix(
+            workload, (5.0,), config, annotations, users,
+            network_mode=NetworkMode.MARKOV,
+        )
+        assert series.figure == "fig5c"
+        assert series.mix[5.0]
+
+    def test_fig5d_buckets_cover_users(self, workload, annotations, users, config):
+        points = figure5d_user_categories(
+            workload, config, annotations, users, n_buckets=3
+        )
+        assert points
+        assert sum(p.user_count for p in points) == len(users)
+        assert "fig5d" in render_user_categories(points)
+
+
+class TestSensitivity:
+    def test_v_sweep(self, workload, annotations, users, config):
+        points = v_sensitivity(
+            workload, (10.0, 1000.0), config, annotations, users
+        )
+        assert [p.v for p in points] == [10.0, 1000.0]
+        for point in points:
+            assert point.delivery_ratio > 0
+        assert "V" in render_sensitivity(points)

@@ -1,0 +1,95 @@
+"""Tests for duration-utility curve fitting (Eq. 8-9)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.survey.fitting import (
+    evaluate_logarithmic,
+    evaluate_polynomial,
+    fit_logarithmic,
+    fit_polynomial,
+    select_best_fit,
+)
+
+
+class TestLogarithmicFit:
+    def test_recovers_exact_parameters(self):
+        durations = [5.0, 10.0, 20.0, 30.0, 40.0]
+        utilities = [-0.397 + 0.352 * math.log1p(d) for d in durations]
+        fit = fit_logarithmic(durations, utilities)
+        a, b = fit.params
+        assert a == pytest.approx(-0.397, abs=1e-9)
+        assert b == pytest.approx(0.352, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        durations = np.linspace(1, 40, 60)
+        utilities = -0.4 + 0.35 * np.log1p(durations) + rng.normal(0, 0.02, 60)
+        fit = fit_logarithmic(durations, utilities)
+        assert fit.params[1] == pytest.approx(0.35, abs=0.05)
+        assert fit.r_squared > 0.95
+
+    def test_evaluate_matches_formula(self):
+        assert evaluate_logarithmic((-0.397, 0.352), 10.0) == pytest.approx(
+            -0.397 + 0.352 * math.log(11)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic([1.0], [0.5])
+        with pytest.raises(ValueError):
+            fit_logarithmic([-1.0, 2.0], [0.1, 0.2])
+
+
+class TestPolynomialFit:
+    def test_recovers_exact_parameters(self):
+        durations = [5.0, 10.0, 20.0, 30.0]
+        utilities = [0.253 * (1 - d / 40.0) ** 2.087 for d in durations]
+        fit = fit_polynomial(durations, utilities, big_d=40.0)
+        a, big_d, b = fit.params
+        assert a == pytest.approx(0.253, rel=1e-6)
+        assert big_d == 40.0
+        assert b == pytest.approx(2.087, rel=1e-6)
+
+    def test_evaluate_matches_formula(self):
+        params = (0.253, 40.0, 2.087)
+        assert evaluate_polynomial(params, 10.0) == pytest.approx(
+            0.253 * 0.75**2.087
+        )
+        assert evaluate_polynomial(params, 40.0) == 0.0
+        assert evaluate_polynomial(params, 50.0) == 0.0
+
+    def test_rejects_points_at_horizon(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([10.0, 40.0], [0.1, 0.01])
+
+    def test_rejects_nonpositive_utilities(self):
+        with pytest.raises(ValueError):
+            fit_polynomial([10.0, 20.0], [0.1, 0.0])
+
+
+class TestModelSelection:
+    def test_logarithmic_wins_on_logarithmic_data(self):
+        """Mirrors the paper: the log family fits the survey CDF better."""
+        durations = [5.0, 10.0, 20.0, 30.0, 39.0]
+        utilities = [
+            max(1e-6, -0.397 + 0.352 * math.log1p(d)) for d in durations
+        ]
+        best, other = select_best_fit(durations, utilities)
+        assert best.name == "logarithmic"
+        assert best.sse <= other.sse
+
+    def test_polynomial_wins_on_polynomial_data(self):
+        durations = [5.0, 10.0, 20.0, 30.0]
+        utilities = [0.3 * (1 - d / 40.0) ** 2 for d in durations]
+        best, _ = select_best_fit(durations, utilities)
+        assert best.name == "polynomial"
+
+    def test_fit_result_str(self):
+        durations = [5.0, 10.0, 20.0]
+        utilities = [0.2, 0.4, 0.6]
+        fit = fit_logarithmic(durations, utilities)
+        assert "logarithmic" in str(fit)

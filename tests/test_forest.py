@@ -1,0 +1,117 @@
+"""Tests for the Random Forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+def noisy_data(n=400, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 5))
+    logit = 4 * (x[:, 0] - 0.5) + 2 * (x[:, 1] - 0.5)
+    p = 1 / (1 + np.exp(-logit))
+    y = (rng.uniform(size=n) < p).astype(int)
+    return x, y
+
+
+class TestValidation:
+    def test_needs_at_least_one_tree(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict([[1.0]])
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit([[1.0], [2.0]], [0])
+
+
+class TestLearning:
+    def test_beats_chance_on_noisy_data(self):
+        x, y = noisy_data()
+        forest = RandomForestClassifier(
+            n_estimators=20, max_depth=6, random_state=0
+        ).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.7
+
+    def test_probabilities_valid(self):
+        x, y = noisy_data()
+        proba = (
+            RandomForestClassifier(n_estimators=10, max_depth=4, random_state=0)
+            .fit(x, y)
+            .predict_proba(x)
+        )
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_deterministic_under_seed(self):
+        x, y = noisy_data()
+        p1 = (
+            RandomForestClassifier(n_estimators=5, random_state=3)
+            .fit(x, y)
+            .predict_proba(x)
+        )
+        p2 = (
+            RandomForestClassifier(n_estimators=5, random_state=3)
+            .fit(x, y)
+            .predict_proba(x)
+        )
+        assert np.array_equal(p1, p2)
+
+    def test_different_seeds_differ(self):
+        x, y = noisy_data()
+        p1 = (
+            RandomForestClassifier(n_estimators=5, random_state=3)
+            .fit(x, y)
+            .predict_proba(x)
+        )
+        p2 = (
+            RandomForestClassifier(n_estimators=5, random_state=4)
+            .fit(x, y)
+            .predict_proba(x)
+        )
+        assert not np.array_equal(p1, p2)
+
+    def test_ensemble_smoother_than_single_tree(self):
+        """Forest probabilities take more distinct values than one tree's."""
+        x, y = noisy_data()
+        single = RandomForestClassifier(n_estimators=1, max_depth=3, random_state=0)
+        many = RandomForestClassifier(n_estimators=30, max_depth=3, random_state=0)
+        p_single = single.fit(x, y).predict_proba(x)[:, 1]
+        p_many = many.fit(x, y).predict_proba(x)[:, 1]
+        assert len(np.unique(p_many)) > len(np.unique(p_single))
+
+
+class TestOob:
+    def test_oob_score_reasonable(self):
+        x, y = noisy_data(n=500)
+        forest = RandomForestClassifier(
+            n_estimators=25, max_depth=6, random_state=0
+        ).fit(x, y)
+        assert 0.6 < forest.oob_score() <= 1.0
+
+    def test_oob_requires_bootstrap(self):
+        x, y = noisy_data(n=100)
+        forest = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, random_state=0
+        ).fit(x, y)
+        with pytest.raises(RuntimeError):
+            forest.oob_score()
+
+
+class TestFeatureImportances:
+    def test_informative_features_rank_highest(self):
+        x, y = noisy_data(n=600)
+        forest = RandomForestClassifier(
+            n_estimators=20, max_depth=5, random_state=0
+        ).fit(x, y)
+        importances = forest.feature_importances()
+        assert importances.shape == (5,)
+        assert importances.sum() == pytest.approx(1.0)
+        # Feature 0 carries twice the signal of feature 1; 2-4 are noise.
+        assert importances[0] == max(importances)
+        assert importances[0] > importances[2]
+        assert importances[0] > importances[3]

@@ -1,0 +1,111 @@
+"""Tests for the latent ground-truth interest model."""
+
+import random
+
+import pytest
+
+from repro.trace.interest import InterestFeatures, LatentInterestModel, sigmoid
+
+
+def features(**overrides):
+    base = dict(
+        tie_strength=0.3,
+        favorite_genre=False,
+        popularity=50,
+        hour_of_day=12.0,
+        is_weekend=False,
+    )
+    base.update(overrides)
+    return InterestFeatures(**base)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert sigmoid(0.0) == 0.5
+        assert sigmoid(3.0) + sigmoid(-3.0) == pytest.approx(1.0)
+
+    def test_extremes_stable(self):
+        assert sigmoid(1000.0) == 1.0
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+
+class TestFeatureValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            features(tie_strength=1.5)
+        with pytest.raises(ValueError):
+            features(popularity=0)
+        with pytest.raises(ValueError):
+            features(hour_of_day=24.0)
+
+
+class TestClickProbability:
+    def test_strong_tie_raises_probability(self):
+        model = LatentInterestModel()
+        weak = model.click_probability(features(tie_strength=0.0))
+        strong = model.click_probability(features(tie_strength=1.0))
+        assert strong > weak
+
+    def test_favorite_genre_raises_probability(self):
+        model = LatentInterestModel()
+        assert model.click_probability(
+            features(favorite_genre=True)
+        ) > model.click_probability(features(favorite_genre=False))
+
+    def test_popularity_raises_probability(self):
+        model = LatentInterestModel()
+        assert model.click_probability(
+            features(popularity=95)
+        ) > model.click_probability(features(popularity=5))
+
+    def test_evening_boost_window(self):
+        model = LatentInterestModel()
+        midday = model.click_probability(features(hour_of_day=12.0))
+        evening = model.click_probability(features(hour_of_day=20.0))
+        late_night = model.click_probability(features(hour_of_day=23.5))
+        assert evening > midday
+        assert late_night == pytest.approx(midday)
+
+    def test_probability_in_unit_interval(self):
+        model = LatentInterestModel()
+        for tie in (0.0, 0.5, 1.0):
+            for pop in (1, 50, 100):
+                p = model.click_probability(features(tie_strength=tie, popularity=pop))
+                assert 0.0 < p < 1.0
+
+
+class TestSampling:
+    def test_click_rate_tracks_probability(self):
+        model = LatentInterestModel(noise_std=0.0, rng=random.Random(1))
+        target = features(tie_strength=0.9, favorite_genre=True, popularity=90)
+        p = model.click_probability(target)
+        clicks = sum(model.sample_click(target) for _ in range(3000)) / 3000
+        assert clicks == pytest.approx(p, abs=0.04)
+
+    def test_noise_flattens_conditional_rates(self):
+        """Logit noise pulls empirical rates toward 0.5 (irreducible error)."""
+        quiet = LatentInterestModel(noise_std=0.0, rng=random.Random(2))
+        noisy = LatentInterestModel(noise_std=3.0, rng=random.Random(2))
+        low_interest = features(tie_strength=0.0, popularity=1)
+        n = 4000
+        rate_quiet = sum(quiet.sample_click(low_interest) for _ in range(n)) / n
+        rate_noisy = sum(noisy.sample_click(low_interest) for _ in range(n)) / n
+        assert rate_noisy > rate_quiet
+
+    def test_attention_rate(self):
+        model = LatentInterestModel(attention_probability=0.3, rng=random.Random(3))
+        rate = sum(model.sample_attention() for _ in range(4000)) / 4000
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_click_delay_positive_and_capped(self):
+        model = LatentInterestModel(rng=random.Random(4))
+        delays = [model.sample_click_delay() for _ in range(500)]
+        assert all(0.0 <= d <= 86400.0 for d in delays)
+        # Mean around two hours.
+        assert 3600.0 < sum(delays) / len(delays) < 14400.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatentInterestModel(attention_probability=0.0)
+        with pytest.raises(ValueError):
+            LatentInterestModel(noise_std=-1.0)

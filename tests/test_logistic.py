@@ -1,0 +1,111 @@
+"""Tests for the logistic-regression baseline classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegressionClassifier
+
+
+def logistic_data(n=600, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    logit = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.5
+    if noise:
+        logit = logit + rng.normal(0, noise, size=n)
+    p = 1 / (1 + np.exp(-logit))
+    y = (rng.uniform(size=n) < p).astype(int)
+    return x, y
+
+
+class TestValidation:
+    def test_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(n_iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(l2=-1)
+
+    def test_inputs(self):
+        model = LogisticRegressionClassifier()
+        with pytest.raises(ValueError):
+            model.fit([[1.0], [2.0]], [0, 2])
+        with pytest.raises(ValueError):
+            model.fit([[1.0]], [0, 1])
+        with pytest.raises(RuntimeError):
+            model.predict([[1.0]])
+
+    def test_predict_wrong_width(self):
+        model = LogisticRegressionClassifier().fit([[1.0], [-1.0]], [1, 0])
+        with pytest.raises(ValueError):
+            model.predict([[1.0, 2.0]])
+
+
+class TestLearning:
+    def test_recovers_separating_direction(self):
+        x, y = logistic_data()
+        model = LogisticRegressionClassifier(n_iterations=500).fit(x, y)
+        weights = model.coefficients
+        assert weights[0] > 0 > weights[1]
+        assert abs(weights[0]) > abs(weights[2])
+
+    def test_accuracy_near_bayes_optimal(self):
+        """Label sampling caps accuracy at the Bayes rate (~0.79 here)."""
+        x, y = logistic_data()
+        logit = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.5
+        bayes_accuracy = ((logit >= 0).astype(int) == y).mean()
+        model = LogisticRegressionClassifier(n_iterations=500).fit(x, y)
+        assert (model.predict(x) == y).mean() >= bayes_accuracy - 0.02
+
+    def test_probabilities_valid_and_calibratedish(self):
+        x, y = logistic_data(n=2000, seed=1)
+        model = LogisticRegressionClassifier(n_iterations=400).fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+        # Mean predicted probability tracks the base rate.
+        assert proba[:, 1].mean() == pytest.approx(y.mean(), abs=0.05)
+
+    def test_constant_feature_handled(self):
+        x, y = logistic_data(n=200, seed=2)
+        x = np.column_stack([x, np.ones(len(x))])  # zero-variance column
+        model = LogisticRegressionClassifier().fit(x, y)
+        assert np.isfinite(model.coefficients).all()
+
+    def test_l2_shrinks_weights(self):
+        x, y = logistic_data(n=400, seed=3)
+        loose = LogisticRegressionClassifier(l2=0.0, n_iterations=400).fit(x, y)
+        tight = LogisticRegressionClassifier(l2=1.0, n_iterations=400).fit(x, y)
+        assert np.abs(tight.coefficients).sum() < np.abs(loose.coefficients).sum()
+
+    def test_without_standardization(self):
+        x, y = logistic_data(n=400, seed=4)
+        model = LogisticRegressionClassifier(
+            standardize=False, learning_rate=0.1, n_iterations=800
+        ).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.8
+
+    def test_drop_in_for_cross_validation(self):
+        """Same interface as the forest: works in the CV harness."""
+        from repro.ml.crossval import cross_validate
+
+        x, y = logistic_data(n=300, seed=5)
+        result = cross_validate(
+            lambda: LogisticRegressionClassifier(n_iterations=200),
+            x, y, n_folds=5, random_state=0,
+        )
+        assert result.accuracy > 0.8
+
+    def test_forest_beats_logistic_on_interaction_data(self):
+        """XOR-style interactions: the RF's raison d'etre over the LR."""
+        from repro.ml.forest import RandomForestClassifier
+
+        rng = np.random.default_rng(6)
+        x = rng.uniform(-1, 1, size=(800, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        logistic = LogisticRegressionClassifier(n_iterations=400).fit(x, y)
+        forest = RandomForestClassifier(
+            n_estimators=15, max_depth=4, random_state=0
+        ).fit(x, y)
+        assert (forest.predict(x) == y).mean() > 0.9
+        assert (logistic.predict(x) == y).mean() < 0.65

@@ -1,0 +1,102 @@
+"""Tests for sporadic cellular and trace-driven connectivity models."""
+
+import random
+
+import pytest
+
+from repro.sim.network import (
+    NetworkState,
+    SporadicCellularNetwork,
+    TraceConnectivity,
+)
+
+
+class TestSporadicCellular:
+    def test_never_wifi(self):
+        model = SporadicCellularNetwork(rng=random.Random(0))
+        states = {model.step() for _ in range(500)}
+        assert NetworkState.WIFI not in states
+        assert states == {NetworkState.CELL, NetworkState.OFF}
+
+    def test_empirical_matches_stationary(self):
+        model = SporadicCellularNetwork(
+            p_stay_connected=0.8, p_stay_off=0.4, rng=random.Random(1)
+        )
+        expected = model.expected_connected_fraction()
+        connected = sum(
+            model.step() is NetworkState.CELL for _ in range(8000)
+        ) / 8000
+        assert connected == pytest.approx(expected, abs=0.03)
+
+    def test_bandwidth_zero_when_off(self):
+        model = SporadicCellularNetwork(
+            initial_state=NetworkState.OFF, rng=random.Random(2)
+        )
+        assert not model.connected
+        assert model.bandwidth == 0.0
+        assert model.capacity_per_round(3600.0) == 0.0
+
+    def test_always_connected_extreme(self):
+        model = SporadicCellularNetwork(
+            p_stay_connected=1.0, rng=random.Random(3)
+        )
+        assert all(model.step() is NetworkState.CELL for _ in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SporadicCellularNetwork(p_stay_connected=1.5)
+        with pytest.raises(ValueError):
+            SporadicCellularNetwork(initial_state=NetworkState.WIFI)
+        model = SporadicCellularNetwork()
+        with pytest.raises(ValueError):
+            model.capacity_per_round(-1.0)
+
+
+class TestTraceConnectivity:
+    def test_replays_states_in_order(self):
+        trace = TraceConnectivity(
+            [NetworkState.OFF, NetworkState.CELL, NetworkState.WIFI]
+        )
+        assert trace.step() is NetworkState.OFF
+        assert trace.step() is NetworkState.CELL
+        assert trace.step() is NetworkState.WIFI
+
+    def test_last_state_persists(self):
+        trace = TraceConnectivity([NetworkState.CELL])
+        for _ in range(5):
+            assert trace.step() is NetworkState.CELL
+
+    def test_bandwidth_follows_state(self):
+        trace = TraceConnectivity([NetworkState.WIFI, NetworkState.OFF])
+        trace.step()
+        wifi_capacity = trace.capacity_per_round(10.0)
+        assert wifi_capacity > 0
+        trace.step()
+        assert trace.capacity_per_round(10.0) == 0.0
+        assert not trace.connected
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConnectivity([])
+
+    def test_custom_bandwidth_validated(self):
+        with pytest.raises(ValueError):
+            TraceConnectivity(
+                [NetworkState.CELL], bandwidth_bps={NetworkState.CELL: 1.0}
+            )
+
+    def test_works_as_device_network(self):
+        """TraceConnectivity satisfies the ConnectivityModel protocol."""
+        from repro.sim.battery import BatterySample, BatteryTrace
+        from repro.sim.device import MobileDevice
+
+        device = MobileDevice(
+            user_id=1,
+            network=TraceConnectivity([NetworkState.OFF, NetworkState.CELL]),
+            battery=BatteryTrace([BatterySample(0.0, 1.0, True)]),
+        )
+        device.begin_round(0.0, 3600.0)
+        assert not device.connected
+        device.begin_round(3600.0, 3600.0)
+        assert device.connected
+        assert device.stats.rounds_connected == 1

@@ -1,0 +1,72 @@
+"""Tests for the parallel per-user runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.parallel import run_experiment_parallel
+from repro.experiments.runner import UtilityAnnotations, run_experiment
+from repro.experiments.workloads import eval_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return eval_workload("small")
+
+
+@pytest.fixture(scope="module")
+def annotations(workload):
+    return UtilityAnnotations.train(workload, seed=5)
+
+
+class TestParallelRunner:
+    def test_matches_sequential_exactly(self, workload, annotations):
+        """Per-user shards are independent: parallel == sequential."""
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=5)
+        users = workload.top_users(6)
+        sequential = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        parallel = run_experiment_parallel(
+            workload,
+            MethodSpec(Method.RICHNOTE),
+            config,
+            annotations,
+            users,
+            max_workers=2,
+        )
+        assert parallel.aggregate.row() == pytest.approx(
+            sequential.aggregate.row()
+        )
+        seq_by_user = {o.metrics.user_id: o for o in sequential.per_user}
+        for outcome in parallel.per_user:
+            twin = seq_by_user[outcome.metrics.user_id]
+            assert outcome.metrics.delivered_bytes == twin.metrics.delivered_bytes
+            assert outcome.metrics.total_utility == pytest.approx(
+                twin.metrics.total_utility
+            )
+            assert outcome.max_queue_length == twin.max_queue_length
+
+    def test_baseline_policy_parallel(self, workload, annotations):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=5)
+        users = workload.top_users(4)
+        result = run_experiment_parallel(
+            workload,
+            MethodSpec(Method.UTIL, fixed_level=3),
+            config,
+            annotations,
+            users,
+            max_workers=2,
+        )
+        assert result.aggregate.users == 4
+
+    def test_no_users_rejected(self, workload, annotations):
+        config = ExperimentConfig(seed=5)
+        with pytest.raises(ValueError):
+            run_experiment_parallel(
+                workload,
+                MethodSpec(Method.RICHNOTE),
+                config,
+                annotations,
+                user_ids=[10**9],  # nonexistent user
+                max_workers=2,
+            )

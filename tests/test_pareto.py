@@ -1,0 +1,100 @@
+"""Tests for skyline pruning of presentations (Figure 2a)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.survey.pareto import (
+    CandidatePresentation,
+    dominates,
+    is_useful,
+    pareto_frontier,
+)
+
+
+def cand(size, utility):
+    return CandidatePresentation(size_bytes=size, utility=utility)
+
+
+class TestDominance:
+    def test_paper_figure_2a_examples(self):
+        """A dominates B (same utility, smaller); D dominates same-size B, C."""
+        a = cand(100, 2.0)
+        b = cand(200, 2.0)
+        c = cand(200, 1.5)
+        d = cand(200, 3.0)
+        assert dominates(a, b)
+        assert dominates(d, b)
+        assert dominates(d, c)
+        assert not dominates(b, a)
+        assert not dominates(a, d)  # a smaller but lower utility
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(cand(10, 1.0), cand(10, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cand(-1, 1.0)
+        with pytest.raises(ValueError):
+            cand(1, -1.0)
+
+
+class TestFrontier:
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_single_point(self):
+        point = cand(10, 1.0)
+        assert pareto_frontier([point]) == [point]
+
+    def test_prunes_dominated(self):
+        a, b, c, d = cand(100, 2.0), cand(200, 2.0), cand(200, 1.5), cand(200, 3.0)
+        frontier = pareto_frontier([a, b, c, d])
+        assert frontier == [a, d]
+
+    def test_frontier_monotone(self):
+        points = [cand(s, u) for s, u in ((50, 1.0), (10, 0.5), (80, 2.0), (60, 0.2))]
+        frontier = pareto_frontier(points)
+        sizes = [p.size_bytes for p in frontier]
+        utilities = [p.utility for p in frontier]
+        assert sizes == sorted(sizes)
+        assert utilities == sorted(utilities)
+
+    def test_duplicates_keep_one(self):
+        points = [cand(10, 1.0), cand(10, 1.0)]
+        assert len(pareto_frontier(points)) == 1
+
+    def test_is_useful_consistent_with_frontier(self):
+        points = [cand(100, 2.0), cand(200, 2.0), cand(150, 2.5)]
+        frontier = pareto_frontier(points)
+        for point in points:
+            assert (point in frontier) == is_useful(point, points)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_properties(self, raw):
+        points = [cand(s, float(u)) for s, u in raw]
+        frontier = pareto_frontier(points)
+        # 1. Nothing on the frontier is dominated by any candidate.
+        for kept in frontier:
+            assert not any(dominates(other, kept) for other in points)
+        # 2. Everything pruned is dominated by (or duplicates) a frontier point.
+        for point in points:
+            if point not in frontier:
+                assert any(
+                    dominates(kept, point)
+                    or (kept.size_bytes == point.size_bytes
+                        and kept.utility == point.utility)
+                    for kept in frontier
+                )
+        # 3. Monotone in both coordinates.
+        sizes = [p.size_bytes for p in frontier]
+        utilities = [p.utility for p in frontier]
+        assert sizes == sorted(sizes)
+        assert all(b > a for a, b in zip(utilities, utilities[1:]))

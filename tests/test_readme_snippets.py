@@ -1,0 +1,30 @@
+"""Executable-documentation guard: the README's python snippets must run.
+
+Extracts every fenced ```python block from README.md and executes it in a
+fresh namespace, so the front-page examples can never rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_examples(self):
+        assert len(python_blocks()) >= 2
+
+    @pytest.mark.parametrize(
+        "index,block",
+        list(enumerate(python_blocks())),
+        ids=[f"block{i}" for i in range(len(python_blocks()))],
+    )
+    def test_snippet_executes(self, index, block, capsys):
+        exec(compile(block, f"README.md:python-block-{index}", "exec"), {})

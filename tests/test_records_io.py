@@ -1,0 +1,114 @@
+"""Tests for trace records and JSONL serialization."""
+
+import pytest
+
+from repro.pubsub.topics import TopicKind
+from repro.trace.io import iter_trace, read_trace, write_trace
+from repro.trace.records import NotificationRecord
+
+
+def record(**overrides):
+    base = dict(
+        notification_id=1,
+        recipient_id=2,
+        sender_id=3,
+        kind=TopicKind.FRIEND,
+        track_id=4,
+        album_id=5,
+        artist_id=6,
+        track_popularity=70,
+        album_popularity=65,
+        artist_popularity=80,
+        tie_strength=0.4,
+        is_friend=True,
+        favorite_genre=False,
+        timestamp=1000.0,
+        hovered=True,
+        clicked=True,
+        click_time=1600.0,
+    )
+    base.update(overrides)
+    return NotificationRecord(**base)
+
+
+class TestRecordInvariants:
+    def test_click_implies_hover(self):
+        with pytest.raises(ValueError):
+            record(hovered=False, clicked=True)
+
+    def test_click_needs_click_time(self):
+        with pytest.raises(ValueError):
+            record(clicked=True, click_time=None)
+
+    def test_click_cannot_precede_notification(self):
+        with pytest.raises(ValueError):
+            record(click_time=999.0)
+
+    def test_attended_property(self):
+        assert record().attended
+        assert not record(hovered=False, clicked=False, click_time=None).attended
+
+    def test_time_features(self):
+        # Epoch starts Monday 00:00; 1000 s in = hour 0.27..., weekday.
+        r = record(timestamp=1000.0, click_time=2000.0)
+        assert r.hour_of_day() == pytest.approx(1000.0 / 3600.0)
+        assert not r.is_weekend()
+        assert r.is_night()
+        saturday = record(timestamp=5.2 * 86400.0, click_time=5.3 * 86400.0)
+        assert saturday.is_weekend()
+
+    def test_dict_round_trip(self):
+        r = record()
+        assert NotificationRecord.from_dict(r.to_dict()) == r
+
+
+class TestTraceIo:
+    def test_round_trip(self, tmp_path):
+        records = [
+            record(notification_id=i, clicked=False, click_time=None)
+            for i in range(5)
+        ]
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(path, records) == 5
+        loaded = read_trace(path)
+        assert loaded == records
+
+    def test_streaming_iteration(self, tmp_path):
+        records = [record(notification_id=i, clicked=False, click_time=None)
+                   for i in range(3)]
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, records)
+        assert [r.notification_id for r in iter_trace(path)] == [0, 1, 2]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_trace(path))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "other", "version": 1}\n')
+        with pytest.raises(ValueError, match="not a richnote-trace"):
+            list(iter_trace(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "richnote-trace", "version": 99}\n')
+        with pytest.raises(ValueError, match="unsupported version"):
+            list(iter_trace(path))
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "richnote-trace", "version": 1}\n{"nope": true}\n'
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_trace(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        r = record(clicked=False, click_time=None)
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, [r])
+        path.write_text(path.read_text() + "\n\n")
+        assert read_trace(path) == [r]

@@ -1,0 +1,103 @@
+"""Tests for text reporting and the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.figures import FigureSeries
+from repro.experiments.reporting import render_ascii_chart, render_series_table
+
+
+def demo_series():
+    return FigureSeries(
+        figure="demo",
+        metric="utility",
+        budgets_mb=(1.0, 10.0, 100.0),
+        series={
+            "RichNote": {1.0: 0.2, 10.0: 0.6, 100.0: 1.0},
+            "UTIL-L3": {1.0: 0.1, 10.0: 0.4, 100.0: 0.5},
+        },
+    )
+
+
+class TestSeriesTable:
+    def test_rows_and_columns(self):
+        text = render_series_table(demo_series())
+        lines = text.splitlines()
+        assert lines[0] == "# utility"
+        assert "1MB" in lines[1] and "100MB" in lines[1]
+        assert any(line.startswith("RichNote") for line in lines)
+        assert any(line.startswith("UTIL-L3") for line in lines)
+
+    def test_precision_respected(self):
+        text = render_series_table(demo_series(), precision=1)
+        assert "0.2" in text and "0.20" not in text
+
+
+class TestAsciiChart:
+    def test_contains_axes_and_legend(self):
+        chart = render_ascii_chart(demo_series(), width=30, height=8)
+        lines = chart.splitlines()
+        assert lines[0].startswith("# utility")
+        assert lines[-1].strip().startswith("o=")
+        assert any(line.startswith("+---") for line in lines)
+        # One glyph per method present somewhere on the canvas.
+        canvas = "\n".join(lines[1:-3])
+        assert "o" in canvas and "x" in canvas
+
+    def test_extremes_hit_the_borders(self):
+        chart = render_ascii_chart(demo_series(), width=30, height=8)
+        rows = [line[1:] for line in chart.splitlines()[1:9]]
+        # Max value (RichNote at 100MB) on the top row, rightmost column.
+        assert rows[0].rstrip().endswith(("o", "x"))
+        # Min value on the bottom row, leftmost column.
+        assert rows[-1][0] in "ox"
+
+    def test_flat_series_does_not_crash(self):
+        series = FigureSeries(
+            figure="f", metric="flat", budgets_mb=(1.0, 10.0),
+            series={"A": {1.0: 0.5, 10.0: 0.5}},
+        )
+        chart = render_ascii_chart(series, width=20, height=5)
+        assert "A" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(demo_series(), width=5, height=8)
+        single = FigureSeries(
+            figure="f", metric="m", budgets_mb=(1.0,),
+            series={"A": {1.0: 0.5}},
+        )
+        with pytest.raises(ValueError):
+            render_ascii_chart(single)
+
+    def test_linear_x_axis(self):
+        chart = render_ascii_chart(demo_series(), width=30, height=8, log_x=False)
+        assert "utility" in chart
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        from repro.experiments.reporting import load_series_csv, save_series_csv
+
+        series = demo_series()
+        path = tmp_path / "fig.csv"
+        save_series_csv(series, path)
+        loaded = load_series_csv(path)
+        assert loaded.metric == series.metric
+        assert loaded.budgets_mb == series.budgets_mb
+        assert loaded.series == series.series
+
+    def test_load_rejects_foreign_csv(self, tmp_path):
+        from repro.experiments.reporting import load_series_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_series_csv(path)
+
+    def test_load_rejects_ragged_rows(self, tmp_path):
+        from repro.experiments.reporting import load_series_csv
+
+        path = tmp_path / "ragged.csv"
+        path.write_text("metric,m\nmethod,1,10\nA,0.5\n")
+        with pytest.raises(ValueError, match="wrong width"):
+            load_series_csv(path)

@@ -1,0 +1,163 @@
+"""Tests for the trace-driven experiment runner."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec, NetworkMode
+from repro.experiments.runner import (
+    UtilityAnnotations,
+    run_experiment,
+    run_user,
+    sweep_budgets,
+)
+from repro.experiments.workloads import eval_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return eval_workload("small")
+
+
+@pytest.fixture(scope="module")
+def annotations(workload):
+    return UtilityAnnotations.train(workload, seed=1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(weekly_budget_mb=10.0, seed=1)
+
+
+class TestUtilityAnnotations:
+    def test_scores_every_record(self, workload, annotations):
+        assert set(annotations.scores) == {
+            r.notification_id for r in workload.records
+        }
+        assert all(0.0 <= s <= 1.0 for s in annotations.scores.values())
+
+    def test_scores_correlate_with_clicks(self, workload, annotations):
+        clicked = [
+            annotations.scores[r.notification_id]
+            for r in workload.records
+            if r.clicked
+        ]
+        unclicked = [
+            annotations.scores[r.notification_id]
+            for r in workload.records
+            if r.hovered and not r.clicked
+        ]
+        assert sum(clicked) / len(clicked) > sum(unclicked) / len(unclicked)
+
+    def test_oracle_mode(self, workload):
+        annotations = UtilityAnnotations.train(workload, oracle=True)
+        for record in workload.records[:200]:
+            expected = 0.9 if record.clicked else 0.1
+            assert annotations.scores[record.notification_id] == expected
+
+    def test_cross_validation_optional(self, workload):
+        annotations = UtilityAnnotations.train(
+            workload, seed=1, max_training_samples=600, run_cross_validation=True
+        )
+        cv = annotations.cross_validation
+        assert cv is not None
+        assert 0.5 < cv.accuracy <= 1.0
+        assert len(cv.fold_accuracy) == 5
+
+
+class TestRunUser:
+    def test_single_user_replay(self, workload, annotations, config):
+        user_id = workload.top_users(1)[0]
+        records = workload.records_for_user(user_id)
+        duration = workload.config.duration_hours * 3600.0
+        outcome = run_user(
+            user_id, records, MethodSpec(Method.RICHNOTE), config, annotations,
+            duration,
+        )
+        metrics = outcome.metrics
+        assert metrics.total_notifications == len(records)
+        assert 0.0 < metrics.delivery_ratio <= 1.0
+        assert metrics.delivered_bytes > 0
+        assert outcome.max_queue_length >= outcome.final_queue_length
+
+    def test_deliveries_never_exceed_weekly_budget(self, workload, annotations):
+        config = ExperimentConfig(weekly_budget_mb=1.0, seed=1)
+        user_id = workload.top_users(1)[0]
+        records = workload.records_for_user(user_id)
+        duration = workload.config.duration_hours * 3600.0
+        outcome = run_user(
+            user_id, records, MethodSpec(Method.RICHNOTE), config, annotations,
+            duration,
+        )
+        weeks = duration / (7 * 86400.0)
+        allowance = config.weekly_budget_mb * 1e6 * weeks + config.theta_bytes_per_round
+        assert outcome.metrics.delivered_bytes <= allowance
+
+
+class TestRunExperiment:
+    def test_all_methods_produce_results(self, workload, annotations, config):
+        users = workload.top_users(5)
+        for spec in (
+            MethodSpec(Method.RICHNOTE),
+            MethodSpec(Method.FIFO, 3),
+            MethodSpec(Method.UTIL, 3),
+        ):
+            result = run_experiment(workload, spec, config, annotations, users)
+            assert result.aggregate.users == 5
+            assert result.aggregate.delivery_ratio > 0
+
+    def test_richnote_delivers_more_than_fixed_baselines(
+        self, workload, annotations
+    ):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=1)
+        users = workload.top_users(5)
+        richnote = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        fifo = run_experiment(
+            workload, MethodSpec(Method.FIFO, 3), config, annotations, users
+        )
+        assert (
+            richnote.aggregate.delivery_ratio > fifo.aggregate.delivery_ratio
+        )
+        assert (
+            richnote.aggregate.mean_queuing_delay_s
+            < fifo.aggregate.mean_queuing_delay_s
+        )
+
+    def test_markov_mode_runs(self, workload, annotations):
+        config = ExperimentConfig(
+            weekly_budget_mb=10.0, network_mode=NetworkMode.MARKOV, seed=1
+        )
+        users = workload.top_users(3)
+        result = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        assert result.aggregate.delivery_ratio > 0
+
+
+class TestSweep:
+    def test_grid_covers_all_cells(self, workload, annotations):
+        specs = [MethodSpec(Method.RICHNOTE), MethodSpec(Method.UTIL, 2)]
+        budgets = (2.0, 20.0)
+        users = workload.top_users(3)
+        grid = sweep_budgets(
+            workload, specs, budgets,
+            ExperimentConfig(seed=1), annotations, users,
+        )
+        assert set(grid) == {
+            ("RichNote", 2.0),
+            ("RichNote", 20.0),
+            ("UTIL-L2", 2.0),
+            ("UTIL-L2", 20.0),
+        }
+
+    def test_more_budget_never_hurts_baseline_delivery(self, workload, annotations):
+        specs = [MethodSpec(Method.UTIL, 3)]
+        users = workload.top_users(3)
+        grid = sweep_budgets(
+            workload, specs, (1.0, 50.0), ExperimentConfig(seed=1),
+            annotations, users,
+        )
+        assert (
+            grid[("UTIL-L3", 50.0)].aggregate.delivery_ratio
+            >= grid[("UTIL-L3", 1.0)].aggregate.delivery_ratio
+        )

@@ -1,0 +1,108 @@
+"""Tests for the synthetic social graph."""
+
+import pytest
+
+from repro.trace.socialgraph import (
+    SocialGraph,
+    SocialGraphConfig,
+    generate_social_graph,
+)
+
+
+class TestSocialGraph:
+    def test_friendship_is_symmetric(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2, 0.7)
+        assert graph.are_friends(1, 2)
+        assert graph.are_friends(2, 1)
+        assert graph.tie_strength(1, 2) == graph.tie_strength(2, 1) == 0.7
+
+    def test_no_self_friendship(self):
+        graph = SocialGraph()
+        with pytest.raises(ValueError):
+            graph.add_friendship(1, 1)
+
+    def test_tie_strength_bounds(self):
+        graph = SocialGraph()
+        with pytest.raises(ValueError):
+            graph.add_friendship(1, 2, 0.0)
+        with pytest.raises(ValueError):
+            graph.add_friendship(1, 2, 1.5)
+
+    def test_non_friends_have_zero_strength(self):
+        graph = SocialGraph()
+        graph.add_user(1)
+        graph.add_user(2)
+        assert graph.tie_strength(1, 2) == 0.0
+        assert not graph.are_friends(1, 2)
+
+    def test_degree_and_counts(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(1, 3)
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+        assert graph.user_count == 3
+        assert graph.edge_count == 2
+
+    def test_clustering_coefficient(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2)
+        graph.add_friendship(1, 3)
+        assert graph.clustering_coefficient(1) == 0.0
+        graph.add_friendship(2, 3)
+        assert graph.clustering_coefficient(1) == 1.0
+        assert graph.clustering_coefficient(2) == 1.0
+
+    def test_clustering_of_leaf_is_zero(self):
+        graph = SocialGraph()
+        graph.add_friendship(1, 2)
+        assert graph.clustering_coefficient(2) == 0.0
+
+
+class TestGeneration:
+    def test_all_users_present_and_connected(self):
+        config = SocialGraphConfig(n_users=60, seed=1)
+        graph = generate_social_graph(config)
+        assert graph.user_count == 60
+        assert all(graph.degree(u) >= 1 for u in graph.users())
+
+    def test_deterministic_under_seed(self):
+        a = generate_social_graph(SocialGraphConfig(n_users=40, seed=2))
+        b = generate_social_graph(SocialGraphConfig(n_users=40, seed=2))
+        assert a.edges() == b.edges()
+
+    def test_degree_distribution_skewed(self):
+        """Preferential attachment: max degree far above the median."""
+        graph = generate_social_graph(SocialGraphConfig(n_users=150, seed=3))
+        degrees = sorted(graph.degree(u) for u in graph.users())
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] >= 2.5 * median
+
+    def test_triadic_closure_raises_clustering(self):
+        open_config = SocialGraphConfig(
+            n_users=100, closure_rounds=0, closure_probability=0.0, seed=4
+        )
+        closed_config = SocialGraphConfig(
+            n_users=100, closure_rounds=2, closure_probability=0.3, seed=4
+        )
+        open_graph = generate_social_graph(open_config)
+        closed_graph = generate_social_graph(closed_config)
+
+        def mean_clustering(graph):
+            users = graph.users()
+            return sum(graph.clustering_coefficient(u) for u in users) / len(users)
+
+        assert mean_clustering(closed_graph) > mean_clustering(open_graph)
+
+    def test_tie_strengths_in_range(self):
+        graph = generate_social_graph(SocialGraphConfig(n_users=50, seed=5))
+        assert all(0.0 < w <= 1.0 for _, _, w in graph.edges())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SocialGraphConfig(n_users=1)
+        with pytest.raises(ValueError):
+            SocialGraphConfig(attachment_edges=0)
+        with pytest.raises(ValueError):
+            SocialGraphConfig(closure_probability=1.5)

@@ -1,0 +1,100 @@
+"""Tests for workload statistics."""
+
+import pytest
+
+from repro.experiments.workloads import eval_workload
+from repro.pubsub.topics import TopicKind
+from repro.trace.records import NotificationRecord
+from repro.trace.stats import Distribution, compute_stats, render_stats
+
+
+def record(notification_id, recipient=1, kind=TopicKind.FRIEND, timestamp=0.0,
+           hovered=False, clicked=False, click_time=None):
+    return NotificationRecord(
+        notification_id=notification_id,
+        recipient_id=recipient,
+        sender_id=99,
+        kind=kind,
+        track_id=1,
+        album_id=1,
+        artist_id=1,
+        track_popularity=50,
+        album_popularity=50,
+        artist_popularity=50,
+        tie_strength=0.0,
+        is_friend=False,
+        favorite_genre=False,
+        timestamp=timestamp,
+        hovered=hovered or clicked,
+        clicked=clicked,
+        click_time=click_time,
+    )
+
+
+class TestDistribution:
+    def test_summary_values(self):
+        dist = Distribution.of([1, 2, 3, 4, 100])
+        assert dist.count == 5
+        assert dist.mean == 22.0
+        assert dist.minimum == 1
+        assert dist.median == 3
+        assert dist.maximum == 100
+
+    def test_single_value(self):
+        dist = Distribution.of([7.0])
+        assert dist.mean == dist.median == dist.p90 == 7.0
+        assert dist.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution.of([])
+
+
+class TestComputeStats:
+    def test_counts_and_rates(self):
+        records = [
+            record(1, recipient=1, clicked=True, timestamp=100.0, click_time=400.0),
+            record(2, recipient=1, hovered=True, timestamp=200.0),
+            record(3, recipient=2, kind=TopicKind.ARTIST, timestamp=300.0),
+        ]
+        stats = compute_stats(records)
+        assert stats.total_records == 3
+        assert stats.users == 2
+        assert stats.per_kind[TopicKind.FRIEND] == 2
+        assert stats.per_kind[TopicKind.ARTIST] == 1
+        assert stats.attention_rate == pytest.approx(2 / 3)
+        assert stats.click_rate == pytest.approx(1 / 3)
+        assert stats.click_rate_given_attention == pytest.approx(1 / 2)
+        assert stats.mean_click_delay_s == pytest.approx(300.0)
+        assert stats.friend_fraction() == pytest.approx(2 / 3)
+
+    def test_hourly_volume_and_peak(self):
+        records = [
+            record(1, timestamp=10 * 3600.0 + 30),
+            record(2, timestamp=10 * 3600.0 + 60),
+            record(3, timestamp=22 * 3600.0),
+        ]
+        stats = compute_stats(records)
+        assert stats.hourly_volume[10] == 2
+        assert stats.peak_hour() == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stats([])
+
+    def test_on_synthetic_workload(self):
+        """Calibration sanity: friend feeds dominate, evening peak."""
+        workload = eval_workload("small")
+        stats = compute_stats(workload.records)
+        assert stats.friend_fraction() > 0.5
+        assert 0.4 <= stats.attention_rate <= 0.7
+        assert 12 <= stats.peak_hour() <= 23  # diurnal afternoon/evening
+
+
+class TestRenderStats:
+    def test_report_contains_key_lines(self):
+        records = [record(1, clicked=True, timestamp=100.0, click_time=700.0)]
+        text = render_stats(compute_stats(records))
+        assert "notifications : 1" in text
+        assert "friend fraction" in text
+        assert "peak hour" in text

@@ -1,0 +1,74 @@
+"""Tests for evaluation-workload presets and simulation event records."""
+
+import pytest
+
+from repro.core.content import ContentItem, ContentKind
+from repro.core.presentations import build_audio_ladder
+from repro.experiments.workloads import eval_workload, workload_spec
+from repro.sim.events import (
+    DeliveryCompleted,
+    DeliveryDropped,
+    NotificationArrival,
+    RoundTick,
+)
+
+
+class TestWorkloadPresets:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            workload_spec("gigantic")
+
+    def test_spec_users_consistent(self):
+        for preset in ("small", "medium", "large"):
+            spec = workload_spec(preset)
+            assert spec.catalog.n_users == spec.graph.n_users
+
+    def test_small_calibration(self):
+        """Per-user volume in the regime the budget sweep needs."""
+        workload = eval_workload("small")
+        counts = [
+            len(workload.records_for_user(u)) for u in workload.top_users(10)
+        ]
+        assert 20 <= min(counts)
+        assert max(counts) <= 400
+
+    def test_memoization_returns_same_object(self):
+        assert eval_workload("small") is eval_workload("small")
+
+    def test_seed_changes_workload(self):
+        a = eval_workload("small", seed=23)
+        b = eval_workload("small", seed=99)
+        assert len(a.records) != len(b.records) or (
+            a.records[0].to_dict() != b.records[0].to_dict()
+        )
+
+
+class TestEventRecords:
+    def test_arrival_record(self):
+        item = ContentItem(
+            item_id=1,
+            user_id=2,
+            kind=ContentKind.FRIEND_FEED,
+            created_at=5.0,
+            ladder=build_audio_ladder(),
+        )
+        event = NotificationArrival(time=5.0, item=item)
+        assert event.item.user_id == 2
+
+    def test_round_tick_and_delivery_records(self):
+        tick = RoundTick(time=3600.0, round_index=1)
+        done = DeliveryCompleted(
+            time=3600.0, user_id=2, item_id=1, level=3,
+            size_bytes=200_200, energy_joules=5.0, utility=0.4,
+        )
+        dropped = DeliveryDropped(
+            time=3600.0, user_id=2, item_id=9, reason="expired"
+        )
+        assert tick.round_index == 1
+        assert done.level == 3
+        assert dropped.reason == "expired"
+
+    def test_records_are_frozen(self):
+        tick = RoundTick(time=0.0, round_index=0)
+        with pytest.raises(AttributeError):
+            tick.round_index = 5
