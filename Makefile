@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench artifacts examples clean
+.PHONY: install test chaos lint bench artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Chaos-injection suite: randomized fault schedules at three fixed seeds
+# (CHAOS_SEEDS in tests/test_failure_injection.py), so failures replay.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m chaos -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

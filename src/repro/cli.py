@@ -31,6 +31,49 @@ from repro.trace.generator import Workload, build_workload
 from repro.trace.io import read_trace, write_trace
 
 
+def _parse_faults(text: str):
+    """``0.2`` (disconnect shorthand) or ``disconnect=0.2,timeout=0.05,...``.
+
+    Recognized kinds: disconnect, timeout, corrupt, reject.  Returns a
+    :class:`repro.sim.faults.FaultConfig`.
+    """
+    from repro.sim.faults import FaultConfig
+
+    text = text.strip()
+    if not text:
+        raise argparse.ArgumentTypeError("empty --faults spec")
+    try:
+        shorthand = float(text)
+    except ValueError:
+        shorthand = None
+    if shorthand is not None:
+        try:
+            return FaultConfig(p_disconnect=shorthand)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from error
+    known = {"disconnect", "timeout", "corrupt", "reject"}
+    kwargs: dict[str, float] = {}
+    for part in text.split(","):
+        kind, sep, value = part.partition("=")
+        kind = kind.strip().lower()
+        if not sep or kind not in known:
+            raise argparse.ArgumentTypeError(
+                f"bad --faults entry {part!r}; use e.g. "
+                "disconnect=0.2,timeout=0.05 (kinds: disconnect, timeout, "
+                "corrupt, reject) or a bare probability"
+            )
+        try:
+            kwargs[f"p_{kind}"] = float(value)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(
+                f"bad probability in --faults entry {part!r}"
+            ) from error
+    try:
+        return FaultConfig(**kwargs)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
 def _parse_method(text: str) -> MethodSpec:
     """``richnote`` | ``fifo:3`` | ``util:2``."""
     name, _, level = text.partition(":")
@@ -78,7 +121,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     workload = _load_workload(args.trace)
     spec = _parse_method(args.method)
-    config = ExperimentConfig(weekly_budget_mb=args.budget, seed=args.seed)
+    config = ExperimentConfig(
+        weekly_budget_mb=args.budget, seed=args.seed, faults=args.faults
+    )
     annotations = UtilityAnnotations.train(workload, seed=args.seed)
     users = workload.top_users(args.users) if args.users else None
     result = run_experiment(workload, spec, config, annotations, users)
@@ -86,6 +131,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"{spec.label} @ {args.budget:g} MB/week over {agg.users} users:")
     for key, value in agg.row().items():
         print(f"  {key:>15}: {value:.4f}")
+    if args.faults is not None:
+        from repro.experiments.reporting import render_failure_stats
+
+        print(render_failure_stats(result.failures, label=spec.label))
     return 0
 
 
@@ -100,8 +149,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     annotations = UtilityAnnotations.train(workload, seed=args.seed)
     users = workload.top_users(args.users) if args.users else None
     figs = figure3_and_4(
-        workload, budgets, ExperimentConfig(seed=args.seed), annotations,
-        users, specs,
+        workload, budgets, ExperimentConfig(seed=args.seed, faults=args.faults),
+        annotations, users, specs,
     )
     for name in sorted(figs):
         print(render_series_table(figs[name]))
@@ -133,7 +182,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     annotations = UtilityAnnotations.train(workload, seed=args.seed)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    config = ExperimentConfig(seed=args.seed)
+    config = ExperimentConfig(seed=args.seed, faults=args.faults)
 
     figs = figure3_and_4(workload, budgets, config, annotations, users)
     tables: list[str] = []
@@ -218,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="weekly data budget in MB")
     run.add_argument("--users", type=int, default=0,
                      help="restrict to the top N users (0 = all)")
+    run.add_argument("--faults", type=_parse_faults, default=None,
+                     help="chaos: fault probabilities, e.g. 0.2 or "
+                          "disconnect=0.2,timeout=0.05")
     run.set_defaults(handler=cmd_run)
 
     sweep = commands.add_parser(
@@ -228,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--methods", default="",
                        help="comma list, e.g. richnote,util:3 (default: paper's five)")
     sweep.add_argument("--users", type=int, default=0)
+    sweep.add_argument("--faults", type=_parse_faults, default=None,
+                       help="chaos: fault probabilities, e.g. 0.2 or "
+                            "disconnect=0.2,timeout=0.05")
     sweep.set_defaults(handler=cmd_sweep)
 
     figures = commands.add_parser(
@@ -237,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", required=True)
     figures.add_argument("--budgets", default="1,2,5,10,20,50,100")
     figures.add_argument("--users", type=int, default=0)
+    figures.add_argument("--faults", type=_parse_faults, default=None,
+                         help="chaos: re-render every figure under a fault "
+                              "schedule, e.g. disconnect=0.2")
     figures.set_defaults(handler=cmd_figures)
 
     stats = commands.add_parser(

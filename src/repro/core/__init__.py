@@ -23,7 +23,14 @@ from repro.core.utility import (
     OracleContentUtility,
     StepDeadlineAging,
 )
-from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler, RoundResult
+from repro.core.scheduler import (
+    Delivery,
+    DroppedItem,
+    RichNoteScheduler,
+    RoundBasedScheduler,
+    RoundResult,
+)
+from repro.core.delivery import DeliveryEngine, DeliveryStats, RetryPolicy
 from repro.core.baselines import FifoScheduler, FixedLevelScheduler, UtilScheduler
 from repro.core.media import (
     ImagePresentationSpec,

@@ -19,15 +19,26 @@ fixed-level pipeline does in practice).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
 from repro.core.scheduler import RoundBasedScheduler
 from repro.core.utility import CombinedUtilityModel
 from repro.sim.device import MobileDevice
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.delivery import DeliveryEngine
+
 
 class FixedLevelScheduler(RoundBasedScheduler):
-    """Common base: deliver at ``fixed_level`` in a policy-defined order."""
+    """Common base: deliver at ``fixed_level`` in a policy-defined order.
+
+    Baselines run behind the same optional fault-tolerant delivery engine
+    as RichNote: failed transfers are refunded, retried with backoff
+    (possibly degraded below ``fixed_level``) and eventually dead-lettered,
+    so a fault schedule stresses every policy identically.
+    """
 
     def __init__(
         self,
@@ -37,9 +48,11 @@ class FixedLevelScheduler(RoundBasedScheduler):
         fixed_level: int,
         utility_model: CombinedUtilityModel | None = None,
         ttl_seconds: float | None = None,
+        delivery_engine: "DeliveryEngine | None" = None,
     ) -> None:
         super().__init__(
-            device, data_budget, energy_budget, utility_model, ttl_seconds
+            device, data_budget, energy_budget, utility_model, ttl_seconds,
+            delivery_engine,
         )
         if fixed_level < 1:
             raise ValueError("fixed level must be >= 1 (level 0 sends nothing)")
@@ -70,8 +83,7 @@ class FifoScheduler(FixedLevelScheduler):
     """FIFO: oldest arrival first, fixed presentation level."""
 
     def _ordered_queue(self, now: float) -> list[ContentItem]:
-        del now
-        return sorted(self._scheduling, key=lambda item: item.created_at)
+        return sorted(self._selectable(now), key=lambda item: item.created_at)
 
 
 class UtilScheduler(FixedLevelScheduler):
@@ -79,7 +91,7 @@ class UtilScheduler(FixedLevelScheduler):
 
     def _ordered_queue(self, now: float) -> list[ContentItem]:
         return sorted(
-            self._scheduling,
+            self._selectable(now),
             key=lambda item: self.utility_model.utility(
                 item, self._level_for(item), now
             ),

@@ -61,8 +61,12 @@ class DataBudget:
     def can_afford(self, size_bytes: float) -> bool:
         return size_bytes <= self._available
 
-    def debit(self, size_bytes: float) -> None:
-        """Deduct a delivery: ``B(t) -= s(i, j)`` (Algorithm 2, step 3)."""
+    def debit(self, size_bytes: float) -> float:
+        """Deduct a delivery: ``B(t) -= s(i, j)`` (Algorithm 2, step 3).
+
+        Returns the amount actually drained (equal to ``size_bytes`` up to
+        the zero floor), which bounds any later refund via :meth:`credit`.
+        """
         if size_bytes < 0:
             raise ValueError("cannot debit a negative size")
         if size_bytes > self._available + 1e-9:
@@ -70,7 +74,23 @@ class DataBudget:
                 f"debit of {size_bytes} B exceeds available budget "
                 f"{self._available} B"
             )
+        before = self._available
         self._available = max(0.0, self._available - size_bytes)
+        return before - self._available
+
+    def credit(self, size_bytes: float) -> float:
+        """Refund bytes debited for a transfer that failed mid-flight.
+
+        Returns the amount actually restored (the rollover cap, when set,
+        still applies -- a refund can never push ``B(t)`` above the cap).
+        """
+        if size_bytes < 0:
+            raise ValueError("cannot credit a negative size")
+        before = self._available
+        self._available += size_bytes
+        if self.cap_bytes is not None:
+            self._available = min(self._available, self.cap_bytes)
+        return self._available - before
 
 
 @dataclass
@@ -113,14 +133,30 @@ class EnergyBudget:
     def can_afford(self, joules: float) -> bool:
         return joules <= self._available
 
-    def debit(self, joules: float) -> None:
+    def debit(self, joules: float) -> float:
         """Deduct a delivery's energy: ``P(t) -= rho(i, j)``.
 
         ``P(t)`` is floored at zero (the queue-update ``[.]^+`` in Eq. 5).
+        Returns the amount actually drained, which bounds any later refund
+        via :meth:`credit` -- a debit truncated by the floor must not be
+        refunded in full, or the virtual queue would mint energy.
         """
         if joules < 0:
             raise ValueError("cannot debit negative energy")
+        before = self._available
         self._available = max(0.0, self._available - joules)
+        return before - self._available
+
+    def credit(self, joules: float) -> float:
+        """Restore energy debited for a transfer that did not complete.
+
+        Callers must pass at most the amount the matching :meth:`debit`
+        reported as drained.  Returns the amount restored.
+        """
+        if joules < 0:
+            raise ValueError("cannot credit negative energy")
+        self._available += joules
+        return joules
 
     def deviation_from_kappa(self) -> float:
         """``P(t) - kappa``: the Lyapunov energy-pressure term of Eq. 7."""

@@ -1,0 +1,296 @@
+"""Fault-tolerant delivery engine: retries, refunds, dead letters.
+
+The round loop of :class:`repro.core.scheduler.RoundBasedScheduler` treats
+delivery as atomic: a selected presentation is debited and recorded in one
+step.  This module inserts a failure surface between selection and
+delivery.  Each attempt is judged by a :class:`repro.sim.faults.FaultPolicy`;
+on failure the engine
+
+* **refunds** the un-transferred bytes to the :class:`DataBudget` and the
+  proportional energy share to the virtual ``P(t)`` queue, so Lyapunov
+  state reflects what was actually spent;
+* charges the bytes that *were* spent over the air as waste (a user's data
+  plan does not refund a dropped preview);
+* schedules a **retry** with exponential backoff and full jitter -- the
+  item stays in the scheduling queue but is ineligible until its backoff
+  expires, and after repeated failures its presentation is **degraded**
+  (capped one level below the last failed attempt) so the retry is cheaper
+  and likelier to fit the remaining round budget;
+* **dead-letters** the item (a structured
+  :class:`~repro.core.scheduler.DroppedItem`) once attempts are exhausted
+  or a retry could not land before the item's TTL.
+
+Byte conservation invariant (checked by the chaos suite): over any run,
+
+``debited == delivered + refunded + wasted``
+
+where *wasted* is exactly the mid-flight bytes of failed attempts.
+
+Determinism: backoff jitter and fault draws both flow through explicit
+``random.Random`` streams supplied at construction; the engine never reads
+module-level ``random`` state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem
+from repro.core.scheduler import Delivery, DroppedItem, RoundResult
+from repro.core.utility import CombinedUtilityModel
+from repro.sim.device import MobileDevice
+from repro.sim.faults import FaultPolicy, TransferContext
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and full jitter.
+
+    The backoff before attempt ``n+1`` is drawn uniformly from
+    ``[0, min(max_backoff, base * 2**(n-1))]`` ("full jitter", the
+    decorrelating variant recommended for thundering-herd avoidance).
+    """
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 900.0
+    max_backoff_seconds: float = 4 * 3600.0
+    #: After this many failed attempts, redelivery is capped one
+    #: presentation level below the last failure (never below level 1).
+    degrade_after_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.max_backoff_seconds < self.base_backoff_seconds:
+            raise ValueError("max backoff must be >= base backoff")
+        if self.degrade_after_attempts < 1:
+            raise ValueError("degrade_after_attempts must be >= 1")
+
+    def backoff_seconds(self, failed_attempts: int, rng: random.Random) -> float:
+        """Full-jitter delay after the ``failed_attempts``-th failure."""
+        if failed_attempts < 1:
+            raise ValueError("failed_attempts must be >= 1")
+        ceiling = min(
+            self.max_backoff_seconds,
+            self.base_backoff_seconds * (2.0 ** (failed_attempts - 1)),
+        )
+        return rng.uniform(0.0, ceiling)
+
+
+@dataclass
+class DeliveryStats:
+    """Cumulative engine counters (mirrored per-round into RoundResult)."""
+
+    attempts: int = 0
+    delivered: int = 0
+    failed_attempts: int = 0
+    retries_scheduled: int = 0
+    dead_letters: int = 0
+    bytes_debited: float = 0.0
+    bytes_delivered: float = 0.0
+    bytes_refunded: float = 0.0
+    bytes_wasted: float = 0.0
+    energy_refunded_joules: float = 0.0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+
+    def conservation_error(self) -> float:
+        """``|debited - (delivered + refunded + wasted)|`` -- 0 when sound."""
+        return abs(
+            self.bytes_debited
+            - (self.bytes_delivered + self.bytes_refunded + self.bytes_wasted)
+        )
+
+
+@dataclass
+class _RetryState:
+    """Engine-private per-item retry bookkeeping."""
+
+    attempts: int = 0
+    next_eligible: float = float("-inf")
+    level_cap: int | None = None
+
+
+class DeliveryEngine:
+    """Per-item delivery attempts with retry, refund and dead-lettering.
+
+    Parameters
+    ----------
+    fault_policy:
+        Judge of each attempt; ``None`` means every attempt succeeds (the
+        engine then reproduces the atomic fast path byte for byte).
+    retry:
+        Backoff/degradation/dead-letter policy.
+    rng:
+        Explicit seeded stream for backoff jitter *and* fault draws.
+        Required so runs are reproducible from configuration alone.
+    """
+
+    def __init__(
+        self,
+        fault_policy: FaultPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.fault_policy = fault_policy
+        self.retry = retry or RetryPolicy()
+        self.rng = rng or random.Random(0)
+        self.stats = DeliveryStats()
+        self._states: dict[int, _RetryState] = {}
+
+    # -- scheduling-queue hooks ---------------------------------------------
+
+    def eligible(self, item: ContentItem, now: float) -> bool:
+        """Is the item out of backoff and allowed another attempt?"""
+        state = self._states.get(item.item_id)
+        return state is None or now >= state.next_eligible
+
+    def level_cap(self, item: ContentItem) -> int | None:
+        """Degraded max level for a previously failed item, if any."""
+        state = self._states.get(item.item_id)
+        return None if state is None else state.level_cap
+
+    def apply_level_caps(
+        self, selected: list[tuple[ContentItem, int]]
+    ) -> list[tuple[ContentItem, int]]:
+        """Clamp selected levels to each item's degradation cap."""
+        capped: list[tuple[ContentItem, int]] = []
+        for item, level in selected:
+            cap = self.level_cap(item)
+            if cap is not None and level > cap:
+                level = cap
+            capped.append((item, level))
+        return capped
+
+    # -- the delivery step ---------------------------------------------------
+
+    def deliver_batch(
+        self,
+        now: float,
+        selected: list[tuple[ContentItem, int]],
+        device: MobileDevice,
+        data_budget: DataBudget,
+        energy_budget: EnergyBudget,
+        utility_model: CombinedUtilityModel,
+        result: RoundResult,
+        ttl_seconds: float | None,
+    ) -> set[int]:
+        """Attempt each selected presentation; returns item ids to drop
+        from the scheduling queue (delivered or dead-lettered).
+
+        Accounting per attempt of size ``s`` failing at fraction ``f``:
+        debit ``s``; refund ``(1-f)*s`` to the data budget; count ``f*s``
+        as wasted.  Energy follows the same split on the attempt's
+        proportional share of the batch energy, bounded by what the debit
+        actually drained (the virtual queue floors at zero).
+        """
+        removed: set[int] = set()
+        if not selected:
+            return removed
+        sizes = [item.ladder.size(level) for item, level in selected]
+        batch_energy = device.download_batch(sizes)
+        total_size = sum(sizes)
+        for (item, level), size in zip(selected, sizes):
+            share = batch_energy * (size / total_size) if total_size else 0.0
+            bytes_drained = data_budget.debit(size)
+            energy_drained = energy_budget.debit(share)
+            self.stats.bytes_debited += size
+            result.debited_bytes += size
+            state = self._states.setdefault(item.item_id, _RetryState())
+            state.attempts += 1
+            self.stats.attempts += 1
+            result.attempts += 1
+
+            outcome = None
+            if self.fault_policy is not None:
+                outcome = self.fault_policy.sample(
+                    TransferContext(
+                        item_id=item.item_id,
+                        level=level,
+                        size_bytes=size,
+                        attempt=state.attempts,
+                        time=now,
+                        network_state=device.network.state,
+                    ),
+                    self.rng,
+                )
+
+            if outcome is None:
+                self.stats.delivered += 1
+                self.stats.bytes_delivered += size
+                result.deliveries.append(
+                    Delivery(
+                        time=now,
+                        user_id=device.user_id,
+                        item=item,
+                        level=level,
+                        size_bytes=size,
+                        energy_joules=share,
+                        utility=utility_model.utility(item, level, now),
+                    )
+                )
+                removed.add(item.item_id)
+                del self._states[item.item_id]
+                continue
+
+            # Failed attempt: refund the un-transferred remainder.
+            fraction = outcome.fraction_completed
+            refund_bytes = min(size * (1.0 - fraction), bytes_drained)
+            wasted = size - refund_bytes
+            data_budget.credit(refund_bytes)
+            energy_refund = min(share * (1.0 - fraction), energy_drained)
+            energy_budget.credit(energy_refund)
+            device.cancel_transfer(size, fraction, share)
+
+            kind = outcome.kind.value
+            self.stats.failed_attempts += 1
+            self.stats.bytes_refunded += refund_bytes
+            self.stats.bytes_wasted += wasted
+            self.stats.energy_refunded_joules += energy_refund
+            self.stats.fault_counts[kind] = self.stats.fault_counts.get(kind, 0) + 1
+            result.failed_attempts += 1
+            result.refunded_bytes += refund_bytes
+            result.wasted_bytes += wasted
+            result.fault_counts[kind] = result.fault_counts.get(kind, 0) + 1
+
+            if state.attempts >= self.retry.max_attempts:
+                self._dead_letter(
+                    item, now, f"delivery_failed:{kind}", state, result, removed
+                )
+                continue
+            backoff = self.retry.backoff_seconds(state.attempts, self.rng)
+            next_eligible = now + backoff
+            if (
+                ttl_seconds is not None
+                and next_eligible - item.created_at > ttl_seconds
+            ):
+                self._dead_letter(
+                    item, now, f"retry_would_expire:{kind}", state, result, removed
+                )
+                continue
+            state.next_eligible = next_eligible
+            if state.attempts >= self.retry.degrade_after_attempts:
+                state.level_cap = max(1, level - 1)
+            self.stats.retries_scheduled += 1
+            result.retries_scheduled += 1
+        return removed
+
+    def _dead_letter(
+        self,
+        item: ContentItem,
+        now: float,
+        reason: str,
+        state: _RetryState,
+        result: RoundResult,
+        removed: set[int],
+    ) -> None:
+        result.dropped.append(
+            DroppedItem(time=now, item=item, reason=reason, attempts=state.attempts)
+        )
+        result.dead_letters += 1
+        self.stats.dead_letters += 1
+        removed.add(item.item_id)
+        del self._states[item.item_id]

@@ -22,7 +22,10 @@ presentation levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
+    from repro.core.delivery import DeliveryEngine
 
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
@@ -52,11 +55,19 @@ class Delivery:
 
 @dataclass(frozen=True)
 class DroppedItem:
-    """An item evicted from the scheduling queue without delivery."""
+    """An item evicted from the scheduling queue without delivery.
+
+    ``reason`` is structured as ``"<cause>"`` or ``"<cause>:<fault_kind>"``,
+    e.g. ``"ttl_expired"``, ``"delivery_failed:timeout"``,
+    ``"retry_would_expire:disconnect"``.  ``attempts`` counts delivery
+    attempts made before the item was dead-lettered (0 when it never
+    reached the delivery path).
+    """
 
     time: float
     item: ContentItem
     reason: str
+    attempts: int = 0
 
 
 @dataclass
@@ -72,6 +83,17 @@ class RoundResult:
     data_budget_after: float = 0.0
     energy_budget_after: float = 0.0
     connected: bool = True
+    # Failure accounting, populated by the fault-tolerant delivery engine
+    # (:class:`repro.core.delivery.DeliveryEngine`); all zero on the atomic
+    # fast path.
+    attempts: int = 0
+    failed_attempts: int = 0
+    retries_scheduled: int = 0
+    dead_letters: int = 0
+    debited_bytes: float = 0.0
+    refunded_bytes: float = 0.0
+    wasted_bytes: float = 0.0
+    fault_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def delivered_bytes(self) -> float:
@@ -100,6 +122,7 @@ class RoundBasedScheduler:
         energy_budget: EnergyBudget,
         utility_model: CombinedUtilityModel | None = None,
         ttl_seconds: float | None = None,
+        delivery_engine: "DeliveryEngine | None" = None,
     ) -> None:
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl must be positive when set")
@@ -107,6 +130,10 @@ class RoundBasedScheduler:
         self.data_budget = data_budget
         self.energy_budget = energy_budget
         self.utility_model = utility_model or CombinedUtilityModel()
+        #: Optional fault-tolerant delivery path
+        #: (:class:`repro.core.delivery.DeliveryEngine`).  ``None`` keeps
+        #: the paper's atomic delivery semantics.
+        self.delivery_engine = delivery_engine
         #: Optional notification expiry: items older than this are evicted
         #: at the start of a round instead of being delivered stale.  The
         #: paper keeps items queued indefinitely (None, the default); real
@@ -143,6 +170,20 @@ class RoundBasedScheduler:
 
     def scheduling_queue(self) -> Sequence[ContentItem]:
         return tuple(self._scheduling)
+
+    def _selectable(self, now: float) -> list[ContentItem]:
+        """Scheduling-queue items eligible for selection this round.
+
+        Items in retry backoff (fault-tolerant delivery) are held back but
+        still count toward ``Q(t)``/backlog -- they are queued work.
+        """
+        if self.delivery_engine is None:
+            return self._scheduling
+        return [
+            item
+            for item in self._scheduling
+            if self.delivery_engine.eligible(item, now)
+        ]
 
     # -- policy hook ---------------------------------------------------------
 
@@ -185,10 +226,13 @@ class RoundBasedScheduler:
         # Connectivity for this round.
         self.device.begin_round(now, round_seconds)
         result.connected = self.device.connected
-        if self.device.connected and self._scheduling:
+        if self.device.connected and self._selectable(now):
             capacity = self.device.round_capacity_bytes(round_seconds)
             effective_budget = int(min(self.data_budget.available, capacity))
             selected = self._select(now, effective_budget)
+            if self.delivery_engine is not None:
+                # Previously failed items may be capped at a degraded level.
+                selected = self.delivery_engine.apply_level_caps(selected)
             # Delivery queue drains in descending utility order (Alg. 2, step 1).
             selected.sort(
                 key=lambda pair: self.utility_model.utility(pair[0], pair[1], now),
@@ -210,6 +254,25 @@ class RoundBasedScheduler:
     ) -> None:
         """Drain the delivery queue: debit budgets, record deliveries."""
         if not selected:
+            return
+        if self.delivery_engine is not None:
+            removed = self.delivery_engine.deliver_batch(
+                now=now,
+                selected=selected,
+                device=self.device,
+                data_budget=self.data_budget,
+                energy_budget=self.energy_budget,
+                utility_model=self.utility_model,
+                result=result,
+                ttl_seconds=self.ttl_seconds,
+            )
+            self.total_dropped += result.dead_letters
+            if removed:
+                self._scheduling = [
+                    item
+                    for item in self._scheduling
+                    if item.item_id not in removed
+                ]
             return
         sizes = [item.ladder.size(level) for item, level in selected]
         batch_energy = self.device.download_batch(sizes)
@@ -263,9 +326,11 @@ class RichNoteScheduler(RoundBasedScheduler):
         lyapunov: LyapunovConfig | None = None,
         use_hull_selector: bool = False,
         ttl_seconds: float | None = None,
+        delivery_engine: "DeliveryEngine | None" = None,
     ) -> None:
         super().__init__(
-            device, data_budget, energy_budget, utility_model, ttl_seconds
+            device, data_budget, energy_budget, utility_model, ttl_seconds,
+            delivery_engine,
         )
         self._select_fn = (
             select_presentations_general
@@ -305,7 +370,7 @@ class RichNoteScheduler(RoundBasedScheduler):
         )
         by_key: dict[int, ContentItem] = {}
         mckp_items: list[MckpItem] = []
-        for item in self._scheduling:
+        for item in self._selectable(now):
             ladder = item.ladder
             utilities = self.utility_model.utilities_for_ladder(item, now)
             energies = [

@@ -9,7 +9,13 @@ from repro.experiments.config import (
     NetworkMode,
 )
 from repro.experiments.adapters import record_to_item
-from repro.experiments.metrics import AggregateMetrics, UserMetrics, aggregate, compute_user_metrics
+from repro.experiments.metrics import (
+    AggregateMetrics,
+    FailureStats,
+    UserMetrics,
+    aggregate,
+    compute_user_metrics,
+)
 from repro.experiments.parallel import run_experiment_parallel
 from repro.experiments.runner import (
     ExperimentResult,

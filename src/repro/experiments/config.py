@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.core.delivery import RetryPolicy
 from repro.core.multifeed import FeedCadences
 from repro.core.presentations import AudioPresentationSpec
+from repro.sim.faults import FaultConfig
 
 MB = 1_000_000
 HOURS_PER_WEEK = 168.0
@@ -85,6 +87,12 @@ class ExperimentConfig:
     #: ``round_seconds``) and album/playlist items batch up to their
     #: coarser release boundaries.
     feed_cadences: FeedCadences | None = None
+    #: Fault injection for the delivery path (chaos runs).  ``None``
+    #: disables the fault-tolerant engine entirely, keeping the paper's
+    #: atomic delivery semantics bit for bit.
+    faults: FaultConfig | None = None
+    #: Retry/backoff/dead-letter policy used when ``faults`` is set.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 97
 
     def __post_init__(self) -> None:
@@ -120,6 +128,14 @@ class ExperimentConfig:
         from dataclasses import replace
 
         return replace(self, lyapunov_v=v)
+
+    def with_faults(
+        self, faults: FaultConfig | None, retry: RetryPolicy | None = None
+    ) -> "ExperimentConfig":
+        """A copy under a different fault schedule (chaos helper)."""
+        from dataclasses import replace
+
+        return replace(self, faults=faults, retry=retry or self.retry)
 
 
 #: The paper's budget sweep for Figures 3-4 (MB per week).

@@ -77,6 +77,30 @@ def render_sensitivity(points: Sequence[SensitivityPoint]) -> str:
     return "\n".join(lines)
 
 
+def render_failure_stats(stats, label: str = "") -> str:
+    """Delivery-failure accounting table (chaos runs).
+
+    ``stats`` is a :class:`repro.experiments.metrics.FailureStats`; the
+    table lists attempts/retries/dead-letters, byte conservation terms and
+    the per-kind fault mix.
+    """
+    title = "# delivery failures" + (f" -- {label}" if label else "")
+    lines = [title]
+    for key, value in stats.row().items():
+        if key in ("refunded_mb", "wasted_mb", "failure_rate"):
+            lines.append(f"{key:>16}: {value:.4f}")
+        else:
+            lines.append(f"{key:>16}: {value:.0f}")
+    lines.append(
+        f"{'conservation':>16}: "
+        f"{'ok' if stats.conservation_error() < 1e-6 else 'VIOLATED'} "
+        f"(err={stats.conservation_error():.3g} B)"
+    )
+    for kind in sorted(stats.fault_counts):
+        lines.append(f"{'fault:' + kind:>16}: {stats.fault_counts[kind]}")
+    return "\n".join(lines)
+
+
 def render_ascii_chart(
     series: FigureSeries,
     width: int = 60,

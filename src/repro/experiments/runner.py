@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.baselines import FifoScheduler, UtilScheduler
 from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.delivery import DeliveryEngine
 from repro.core.lyapunov import LyapunovConfig
 from repro.core.presentations import build_audio_ladder
 from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler
@@ -30,10 +31,12 @@ from repro.experiments.adapters import record_to_item
 from repro.experiments.config import ExperimentConfig, Method, MethodSpec, NetworkMode
 from repro.experiments.metrics import (
     AggregateMetrics,
+    FailureStats,
     UserMetrics,
     aggregate,
     compute_user_metrics,
 )
+from repro.sim.faults import RandomFaultPolicy
 from repro.ml.crossval import CrossValResult, cross_validate
 from repro.ml.dataset import FeatureExtractor, build_training_set
 from repro.ml.forest import RandomForestClassifier
@@ -118,6 +121,7 @@ class UserRunOutcome:
     mean_backlog_bytes: float
     max_queue_length: int
     final_queue_length: int
+    failures: FailureStats = field(default_factory=FailureStats)
 
 
 @dataclass
@@ -139,6 +143,36 @@ class ExperimentResult:
             return 0.0
         return sum(u.mean_backlog_bytes for u in self.per_user) / len(self.per_user)
 
+    @property
+    def failures(self) -> FailureStats:
+        """Cross-user delivery-failure totals for this cell."""
+        totals = FailureStats()
+        for user in self.per_user:
+            totals.merge(user.failures)
+        return totals
+
+
+def _fault_stream_seed(seed: int, user_id: int) -> int:
+    """Stable per-user seed for fault/backoff randomness.
+
+    Pure integer arithmetic -- ``hash()`` over strings is salted per
+    process and would break cross-process reproducibility.
+    """
+    return (seed * 1_000_003 + user_id * 7_919 + 13) & 0x7FFFFFFF
+
+
+def _build_delivery_engine(
+    config: ExperimentConfig, user_id: int
+) -> DeliveryEngine | None:
+    """Fault-tolerant delivery engine for one user, or None when disabled."""
+    if config.faults is None:
+        return None
+    return DeliveryEngine(
+        fault_policy=RandomFaultPolicy(config.faults),
+        retry=config.retry,
+        rng=random.Random(_fault_stream_seed(config.seed, user_id)),
+    )
+
 
 def _build_scheduler(
     spec: MethodSpec,
@@ -148,6 +182,7 @@ def _build_scheduler(
 ) -> RoundBasedScheduler:
     data_budget = DataBudget(theta_bytes=config.theta_bytes_per_round)
     energy_budget = EnergyBudget(kappa_joules=config.kappa_joules_per_round)
+    engine = _build_delivery_engine(config, device.user_id)
     if spec.method is Method.RICHNOTE:
         return RichNoteScheduler(
             device,
@@ -158,6 +193,7 @@ def _build_scheduler(
                 v=config.lyapunov_v,
                 kappa_joules=config.kappa_joules_per_round,
             ),
+            delivery_engine=engine,
         )
     scheduler_cls = FifoScheduler if spec.method is Method.FIFO else UtilScheduler
     return scheduler_cls(
@@ -166,6 +202,7 @@ def _build_scheduler(
         energy_budget,
         fixed_level=spec.fixed_level,
         utility_model=utility_model,
+        delivery_engine=engine,
     )
 
 
@@ -223,6 +260,7 @@ def run_user(
     deliveries: list[Delivery] = []
     backlog_samples: list[float] = []
     queue_samples: list[int] = []
+    failures = FailureStats()
 
     simulator = Simulator()
     for item in items:
@@ -233,6 +271,7 @@ def run_user(
         deliveries.extend(result.deliveries)
         backlog_samples.append(result.backlog_bytes_after)
         queue_samples.append(result.queue_length_after)
+        failures.observe(result)
 
     simulator.schedule_periodic(
         config.round_seconds,
@@ -250,6 +289,7 @@ def run_user(
         ),
         max_queue_length=max(queue_samples, default=0),
         final_queue_length=queue_samples[-1] if queue_samples else 0,
+        failures=failures,
     )
 
 

@@ -59,9 +59,85 @@ class BrokerStats:
     publications: int = 0
     notifications: int = 0
     dropped_no_subscribers: int = 0
+    #: Sink callbacks that raised; the failure is isolated per
+    #: (sink, notification) -- the rest of the batch still flows.
+    sink_errors: int = 0
+    #: Deliveries skipped because a sink's circuit breaker was OPEN.
+    sink_skipped: int = 0
+    #: Breaker state changes (CLOSED->OPEN, OPEN->HALF_OPEN, ...).
+    breaker_transitions: int = 0
     per_kind: dict[TopicKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in TopicKind}
     )
+
+
+class BreakerState(str, Enum):
+    """Circuit-breaker states for one registered sink."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Per-sink breaker tuning.
+
+    After ``failure_threshold`` consecutive sink exceptions the breaker
+    OPENs and the sink is skipped for ``cooldown_skips`` deliveries; it
+    then goes HALF_OPEN and lets one probe notification through -- success
+    re-CLOSEs it, failure re-OPENs it.
+    """
+
+    failure_threshold: int = 3
+    cooldown_skips: int = 8
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_skips < 1:
+            raise ValueError("cooldown_skips must be >= 1")
+
+
+class _SinkCircuit:
+    """Breaker state machine guarding one sink."""
+
+    def __init__(self, config: CircuitBreakerConfig) -> None:
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._skips_remaining = 0
+
+    def allow(self) -> tuple[bool, bool]:
+        """(may the sink be called, did the state transition)."""
+        if self.state is BreakerState.OPEN:
+            if self._skips_remaining > 0:
+                self._skips_remaining -= 1
+                return False, False
+            self.state = BreakerState.HALF_OPEN
+            return True, True
+        return True, False
+
+    def record_success(self) -> bool:
+        """Returns True when the breaker transitioned (re-closed)."""
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            return True
+        return False
+
+    def record_failure(self) -> bool:
+        """Returns True when the breaker transitioned (opened)."""
+        self.consecutive_failures += 1
+        should_open = (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.config.failure_threshold
+        )
+        if should_open and self.state is not BreakerState.OPEN:
+            self.state = BreakerState.OPEN
+            self._skips_remaining = self.config.cooldown_skips
+            return True
+        return False
 
 
 class Broker:
@@ -76,6 +152,7 @@ class Broker:
         subscriptions: SubscriptionStore | None = None,
         default_mode: DeliveryMode = DeliveryMode.ROUND,
         mode_overrides: dict[TopicKind, DeliveryMode] | None = None,
+        breaker: CircuitBreakerConfig | None = None,
     ) -> None:
         self.subscriptions = subscriptions or SubscriptionStore()
         self.matcher = TopicMatcher(self.subscriptions)
@@ -83,12 +160,19 @@ class Broker:
         self._mode_overrides = dict(mode_overrides or {})
         self._pending: list[Notification] = []
         self._sinks: list[NotificationSink] = []
+        self._circuits: list[_SinkCircuit] = []
+        self._breaker_config = breaker or CircuitBreakerConfig()
         self._ids = itertools.count()
         self.stats = BrokerStats()
 
     def add_sink(self, sink: NotificationSink) -> None:
         """Register a consumer for released notifications."""
         self._sinks.append(sink)
+        self._circuits.append(_SinkCircuit(self._breaker_config))
+
+    def breaker_states(self) -> list[BreakerState]:
+        """Current breaker state per registered sink (diagnostics)."""
+        return [circuit.state for circuit in self._circuits]
 
     def mode_for(self, kind: TopicKind) -> DeliveryMode:
         return self._mode_overrides.get(kind, self._default_mode)
@@ -122,7 +206,13 @@ class Broker:
         return notifications
 
     def flush(self) -> list[Notification]:
-        """Release all queued BATCH/ROUND notifications to the sinks."""
+        """Release all queued BATCH/ROUND notifications to the sinks.
+
+        A sink that raises affects only that (sink, notification) pair:
+        the exception is counted in :attr:`BrokerStats.sink_errors`, its
+        circuit breaker advances, and the rest of the batch -- and the
+        remaining sinks -- still receive their notifications.
+        """
         released = self._pending
         self._pending = []
         for notification in released:
@@ -134,5 +224,19 @@ class Broker:
         return len(self._pending)
 
     def _emit(self, notification: Notification) -> None:
-        for sink in self._sinks:
-            sink(notification)
+        for sink, circuit in zip(self._sinks, self._circuits):
+            allowed, transitioned = circuit.allow()
+            if transitioned:
+                self.stats.breaker_transitions += 1
+            if not allowed:
+                self.stats.sink_skipped += 1
+                continue
+            try:
+                sink(notification)
+            except Exception:
+                self.stats.sink_errors += 1
+                if circuit.record_failure():
+                    self.stats.breaker_transitions += 1
+            else:
+                if circuit.record_success():
+                    self.stats.breaker_transitions += 1

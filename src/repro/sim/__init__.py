@@ -18,3 +18,14 @@ from repro.sim.energy import (
 )
 from repro.sim.battery import BatterySample, BatteryTrace, DiurnalBatteryModel
 from repro.sim.device import DeviceStats, MobileDevice
+from repro.sim.faults import (
+    NO_FAULTS,
+    FaultConfig,
+    FaultKind,
+    FaultOutcome,
+    FaultPolicy,
+    FlakyConnectivity,
+    RandomFaultPolicy,
+    ScriptedFaultPolicy,
+    TransferContext,
+)

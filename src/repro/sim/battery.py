@@ -33,6 +33,8 @@ class BatterySample:
     charging: bool
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.time):
+            raise ValueError(f"sample time must be finite, got {self.time}")
         if not 0.0 <= self.level <= 1.0:
             raise ValueError(f"level must be in [0, 1], got {self.level}")
 
@@ -119,11 +121,26 @@ class BatteryTrace:
 
     def __init__(self, samples: list[BatterySample]):
         if not samples:
-            raise ValueError("trace must contain at least one sample")
+            raise ValueError(
+                "battery trace must contain at least one sample "
+                "(got an empty sample list)"
+            )
+        for sample in samples:
+            if not isinstance(sample, BatterySample):
+                raise ValueError(
+                    f"battery trace entries must be BatterySample, "
+                    f"got {type(sample).__name__}"
+                )
+        # Unsorted input is accepted and ordered; equal timestamps are
+        # ambiguous (which reading wins?) and rejected up front rather
+        # than surfacing as wrong lookups downstream.
         ordered = sorted(samples, key=lambda s: s.time)
         for lo, hi in zip(ordered, ordered[1:]):
             if hi.time == lo.time:
-                raise ValueError("duplicate sample timestamps")
+                raise ValueError(
+                    f"duplicate sample timestamp {lo.time}: battery trace "
+                    "timestamps must be distinct"
+                )
         self._samples = ordered
         self._times = [s.time for s in ordered]
 

@@ -125,3 +125,45 @@ class MobileDevice:
             [size for size in sizes_bytes if size > 0]
         )
         return energy
+
+    def cancel_transfer(
+        self,
+        size_bytes: float,
+        fraction_completed: float,
+        energy_share_joules: float,
+    ) -> None:
+        """Correct stats for a transfer that failed after being accounted.
+
+        :meth:`download_batch` charges the whole batch up front; when the
+        delivery engine later learns an attempt failed at
+        ``fraction_completed`` of its bytes, the un-transferred remainder
+        (bytes and the proportional energy share) is backed out, and the
+        notification is no longer counted as received.
+
+        Raises
+        ------
+        ValueError
+            If the correction would drive a stats counter negative, i.e.
+            the caller is cancelling more than was ever charged.
+        """
+        if not 0.0 <= fraction_completed <= 1.0:
+            raise ValueError(
+                f"fraction_completed must be in [0, 1], got {fraction_completed}"
+            )
+        if size_bytes < 0 or energy_share_joules < 0:
+            raise ValueError("cannot cancel a negative transfer")
+        unspent_bytes = size_bytes * (1.0 - fraction_completed)
+        unspent_energy = energy_share_joules * (1.0 - fraction_completed)
+        if (
+            self.stats.bytes_downloaded - unspent_bytes < -1e-6
+            or self.stats.energy_spent_joules - unspent_energy < -1e-6
+        ):
+            raise ValueError("cancelling more than was charged to the device")
+        self.stats.bytes_downloaded = max(
+            0.0, self.stats.bytes_downloaded - unspent_bytes
+        )
+        self.stats.energy_spent_joules = max(
+            0.0, self.stats.energy_spent_joules - unspent_energy
+        )
+        if size_bytes > 0 and self.stats.notifications_received > 0:
+            self.stats.notifications_received -= 1

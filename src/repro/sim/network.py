@@ -96,6 +96,11 @@ class MarkovNetworkModel:
         for state in NetworkState:
             if state not in self.bandwidth_bps:
                 raise ValueError(f"missing bandwidth for {state}")
+            if self.bandwidth_bps[state] < 0:
+                raise ValueError(
+                    f"bandwidth for {state} must be >= 0, "
+                    f"got {self.bandwidth_bps[state]}"
+                )
         self._state = self.initial_state
 
     @property
@@ -264,12 +269,26 @@ class TraceConnectivity:
         bandwidth_bps: "dict[NetworkState, float] | None" = None,
     ) -> None:
         if not states:
-            raise ValueError("trace must contain at least one state")
+            raise ValueError(
+                "connectivity trace must contain at least one state "
+                "(got an empty state list)"
+            )
         self._states = list(states)
+        for position, state in enumerate(self._states):
+            if not isinstance(state, NetworkState):
+                raise ValueError(
+                    f"trace entry {position} must be a NetworkState, "
+                    f"got {state!r}"
+                )
         self._bandwidth = dict(bandwidth_bps or DEFAULT_BANDWIDTH_BPS)
         for state in NetworkState:
             if state not in self._bandwidth:
                 raise ValueError(f"missing bandwidth for {state}")
+            if self._bandwidth[state] < 0:
+                raise ValueError(
+                    f"bandwidth for {state} must be >= 0, "
+                    f"got {self._bandwidth[state]}"
+                )
         self._index = -1  # step() moves to 0 on the first round
 
     @property

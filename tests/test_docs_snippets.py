@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_four_walkthroughs(self):
-        assert len(python_blocks()) == 4
+    def test_has_five_walkthroughs(self):
+        assert len(python_blocks()) == 5
 
     @pytest.mark.parametrize(
         "index,block",

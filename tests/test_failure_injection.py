@@ -1,4 +1,5 @@
-"""Failure-injection tests: degenerate devices, dead batteries, outages.
+"""Failure-injection tests: degenerate devices, dead batteries, outages,
+and the fault-tolerant delivery pipeline.
 
 The scheduler must degrade gracefully -- hold items, roll budget over, and
 recover -- rather than crash or leak queue state, under:
@@ -7,21 +8,44 @@ recover -- rather than crash or leak queue state, under:
 * a long outage followed by reconnection (burst drain);
 * a battery that is dead for the whole horizon (no energy replenishment);
 * an empty round stream (no arrivals at all);
-* items whose ladder is just {not sent, metadata}.
+* items whose ladder is just {not sent, metadata};
+* flaky transfers: mid-flight disconnects, timeout storms, rejected
+  pushes -- with retry/backoff, byte refunds and dead-letter accounting;
+* a sink that raises, behind the broker's per-sink circuit breaker.
+
+The ``chaos`` marker selects the randomized fault-schedule suite that
+``make chaos`` runs at three fixed seeds.
 """
 
-import pytest
+import random
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import UtilScheduler
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem, ContentKind, Presentation, PresentationLadder
+from repro.core.delivery import DeliveryEngine, RetryPolicy
 from repro.core.presentations import build_audio_ladder
 from repro.core.scheduler import RichNoteScheduler
 from repro.sim.battery import BatterySample, BatteryTrace
 from repro.sim.device import MobileDevice
+from repro.sim.faults import (
+    FaultConfig,
+    FaultKind,
+    FaultOutcome,
+    FlakyConnectivity,
+    RandomFaultPolicy,
+    ScriptedFaultPolicy,
+)
 from repro.sim.network import NetworkState, TraceConnectivity
 
 LADDER = build_audio_ladder()
 ROUND = 3600.0
+
+#: The fixed seeds ``make chaos`` replays (see Makefile `chaos` target).
+CHAOS_SEEDS = (101, 202, 303)
 
 
 def make_scheduler(network_states, battery_level=0.8, charging=False, theta=500_000.0):
@@ -36,6 +60,33 @@ def make_scheduler(network_states, battery_level=0.8, charging=False, theta=500_
         device=device,
         data_budget=DataBudget(theta_bytes=theta),
         energy_budget=EnergyBudget(kappa_joules=3000.0),
+    )
+
+
+def make_util_scheduler(
+    engine,
+    fixed_level=5,
+    theta=2_000_000.0,
+    network_states=(NetworkState.CELL,),
+    ttl_seconds=None,
+):
+    """UTIL baseline behind the fault-tolerant delivery engine.
+
+    The fixed level makes attempt sizes predictable (level 5 = the 30 s
+    preview, 600 200 B on the default audio ladder).
+    """
+    device = MobileDevice(
+        user_id=1,
+        network=TraceConnectivity(list(network_states)),
+        battery=BatteryTrace([BatterySample(0.0, 0.9, charging=True)]),
+    )
+    return UtilScheduler(
+        device=device,
+        data_budget=DataBudget(theta_bytes=theta),
+        energy_budget=EnergyBudget(kappa_joules=3000.0),
+        fixed_level=fixed_level,
+        ttl_seconds=ttl_seconds,
+        delivery_engine=engine,
     )
 
 
@@ -135,3 +186,508 @@ class TestMinimalLadder:
         levels = {d.item.item_id: d.level for d in result.deliveries}
         assert levels[1] == 1
         assert levels[2] == LADDER.max_level
+
+
+#: Level 5 of the default audio ladder: metadata + 30 s preview.
+PREVIEW_30S_BYTES = LADDER.size(5)
+
+#: Deterministic retry policy: no jitter, retry eligible immediately.
+IMMEDIATE_RETRY = RetryPolicy(
+    max_attempts=3, base_backoff_seconds=0.0, max_backoff_seconds=0.0
+)
+
+
+class _MaxJitterRng(random.Random):
+    """rng whose uniform() always returns the upper bound (worst-case jitter)."""
+
+    def uniform(self, a, b):
+        return b
+
+
+class TestFlakyTransfers:
+    def test_disconnect_at_half_of_30s_preview(self):
+        """A transfer dropped at 50% refunds half the bytes and retries."""
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy(
+                [FaultOutcome(FaultKind.DISCONNECT, fraction_completed=0.5)]
+            ),
+            retry=IMMEDIATE_RETRY,
+            rng=random.Random(7),
+        )
+        scheduler = make_util_scheduler(engine, fixed_level=5)
+        scheduler.enqueue(make_item(1))
+
+        first = scheduler.run_round(ROUND, ROUND)
+        assert first.deliveries == []
+        assert first.attempts == 1
+        assert first.failed_attempts == 1
+        assert first.retries_scheduled == 1
+        assert first.refunded_bytes == pytest.approx(PREVIEW_30S_BYTES / 2)
+        assert first.wasted_bytes == pytest.approx(PREVIEW_30S_BYTES / 2)
+        assert first.fault_counts == {"disconnect": 1}
+        assert scheduler.pending_items == 1
+        # Half the attempt was refunded to B(t).
+        assert scheduler.data_budget.available == pytest.approx(
+            2_000_000.0 - PREVIEW_30S_BYTES / 2
+        )
+
+        second = scheduler.run_round(2 * ROUND, ROUND)
+        assert [d.level for d in second.deliveries] == [5]
+        assert scheduler.pending_items == 0
+        stats = engine.stats
+        assert stats.bytes_debited == pytest.approx(2 * PREVIEW_30S_BYTES)
+        assert stats.conservation_error() < 1e-6
+
+    def test_timeout_storm_dead_letters_after_max_attempts(self):
+        """Every attempt times out: bounded retries, then a dead letter."""
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy(
+                [FaultOutcome(FaultKind.TIMEOUT)] * 10
+            ),
+            retry=IMMEDIATE_RETRY,
+            rng=random.Random(7),
+        )
+        scheduler = make_util_scheduler(engine, fixed_level=5)
+        scheduler.enqueue(make_item(1))
+        results = [
+            scheduler.run_round(i * ROUND, ROUND) for i in range(1, 4)
+        ]
+        assert sum(r.failed_attempts for r in results) == 3
+        dead = results[-1].dropped
+        assert len(dead) == 1
+        assert dead[0].reason == "delivery_failed:timeout"
+        assert dead[0].attempts == 3
+        assert results[-1].dead_letters == 1
+        assert scheduler.pending_items == 0
+        assert scheduler.total_dropped == 1
+        # Timeouts transfer nothing: every debit was refunded in full.
+        stats = engine.stats
+        assert stats.bytes_wasted == 0.0
+        assert stats.bytes_refunded == pytest.approx(stats.bytes_debited)
+        assert stats.conservation_error() < 1e-6
+
+    def test_rejected_push_is_fully_refunded(self):
+        """A channel rejection costs no bytes at all."""
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy([FaultOutcome(FaultKind.REJECT)]),
+            retry=IMMEDIATE_RETRY,
+            rng=random.Random(7),
+        )
+        scheduler = make_util_scheduler(engine, fixed_level=5)
+        scheduler.enqueue(make_item(1))
+        scheduler.run_round(ROUND, ROUND)
+        assert scheduler.data_budget.available == pytest.approx(2_000_000.0)
+
+    def test_redelivery_degrades_presentation_level(self):
+        """After repeated failures the retry is capped one level lower."""
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy(
+                [FaultOutcome(FaultKind.DISCONNECT, fraction_completed=0.25)]
+            ),
+            retry=RetryPolicy(
+                max_attempts=3,
+                base_backoff_seconds=0.0,
+                max_backoff_seconds=0.0,
+                degrade_after_attempts=1,
+            ),
+            rng=random.Random(7),
+        )
+        scheduler = make_util_scheduler(engine, fixed_level=5)
+        scheduler.enqueue(make_item(1))
+        scheduler.run_round(ROUND, ROUND)
+        second = scheduler.run_round(2 * ROUND, ROUND)
+        assert [d.level for d in second.deliveries] == [4]
+
+    def test_retry_that_cannot_beat_ttl_is_dead_lettered(self):
+        """TTL-aware redelivery: pointless retries die immediately."""
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy(
+                [FaultOutcome(FaultKind.DISCONNECT, fraction_completed=0.5)]
+            ),
+            retry=RetryPolicy(
+                max_attempts=5,
+                base_backoff_seconds=2 * ROUND,
+                max_backoff_seconds=2 * ROUND,
+            ),
+            rng=_MaxJitterRng(7),  # jitter always lands at the ceiling
+        )
+        scheduler = make_util_scheduler(
+            engine, fixed_level=5, ttl_seconds=1.5 * ROUND
+        )
+        scheduler.enqueue(make_item(1, created_at=0.0))
+        result = scheduler.run_round(ROUND, ROUND)
+        assert result.dead_letters == 1
+        assert result.dropped[0].reason == "retry_would_expire:disconnect"
+        assert scheduler.pending_items == 0
+
+    def test_corrupt_download_wastes_all_bytes(self):
+        engine = DeliveryEngine(
+            fault_policy=ScriptedFaultPolicy(
+                [FaultOutcome(FaultKind.CORRUPT, fraction_completed=1.0)]
+            ),
+            retry=IMMEDIATE_RETRY,
+            rng=random.Random(7),
+        )
+        scheduler = make_util_scheduler(engine, fixed_level=5)
+        scheduler.enqueue(make_item(1))
+        result = scheduler.run_round(ROUND, ROUND)
+        assert result.refunded_bytes == 0.0
+        assert result.wasted_bytes == pytest.approx(PREVIEW_30S_BYTES)
+        assert scheduler.data_budget.available == pytest.approx(
+            2_000_000.0 - PREVIEW_30S_BYTES
+        )
+
+
+class TestNoFaultParity:
+    """With no fault policy the engine is byte-identical to the fast path."""
+
+    @staticmethod
+    def _run(engine):
+        device = MobileDevice(
+            user_id=1,
+            network=TraceConnectivity([NetworkState.CELL]),
+            battery=BatteryTrace([BatterySample(0.0, 0.8, charging=False)]),
+        )
+        scheduler = RichNoteScheduler(
+            device=device,
+            data_budget=DataBudget(theta_bytes=700_000.0),
+            energy_budget=EnergyBudget(kappa_joules=3000.0),
+            delivery_engine=engine,
+        )
+        outcomes = []
+        for round_index in range(1, 8):
+            if round_index <= 5:
+                scheduler.enqueue(
+                    make_item(round_index, created_at=(round_index - 1) * ROUND)
+                )
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            outcomes.append(
+                (
+                    [
+                        (d.item.item_id, d.level, d.size_bytes,
+                         d.energy_joules, d.utility)
+                        for d in result.deliveries
+                    ],
+                    result.data_budget_after,
+                    result.energy_budget_after,
+                    result.backlog_bytes_after,
+                )
+            )
+        return outcomes
+
+    def test_deliveries_and_budgets_bit_identical(self):
+        atomic = self._run(engine=None)
+        engine = self._run(engine=DeliveryEngine(fault_policy=None))
+        assert atomic == engine
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestFaultDeterminism:
+    """Same seed => identical RoundResult streams (reproducibility fix)."""
+
+    @staticmethod
+    def _stream(seed):
+        config = FaultConfig(
+            p_disconnect=0.25, p_timeout=0.1, p_corrupt=0.05, p_reject=0.05
+        )
+        engine = DeliveryEngine(
+            fault_policy=RandomFaultPolicy(config),
+            retry=RetryPolicy(base_backoff_seconds=0.0, max_backoff_seconds=0.0),
+            rng=random.Random(seed),
+        )
+        states = [
+            NetworkState.CELL if random.Random(seed + 1).random() < 0.8
+            else NetworkState.OFF
+            for _ in range(12)
+        ]
+        scheduler = make_util_scheduler(
+            engine, fixed_level=4, network_states=states
+        )
+        stream = []
+        for round_index in range(1, 13):
+            if round_index <= 8:
+                scheduler.enqueue(
+                    make_item(round_index, created_at=(round_index - 1) * ROUND)
+                )
+            result = scheduler.run_round(round_index * ROUND, ROUND)
+            stream.append(
+                (
+                    result.round_index,
+                    tuple(
+                        (d.item.item_id, d.level, d.size_bytes, d.utility)
+                        for d in result.deliveries
+                    ),
+                    tuple((drop.item.item_id, drop.reason, drop.attempts)
+                          for drop in result.dropped),
+                    result.attempts,
+                    result.failed_attempts,
+                    result.refunded_bytes,
+                    result.wasted_bytes,
+                    tuple(sorted(result.fault_counts.items())),
+                    result.data_budget_after,
+                    result.energy_budget_after,
+                )
+            )
+        return stream
+
+    def test_same_seed_same_stream(self, seed):
+        assert self._stream(seed) == self._stream(seed)
+
+    def test_different_seeds_diverge(self, seed):
+        # Not a hard guarantee, but with 12 rounds at ~45% fault rate two
+        # streams agreeing byte-for-byte would indicate a shared rng.
+        assert self._stream(seed) != self._stream(seed + 7)
+
+
+@pytest.mark.chaos
+class TestConservationProperties:
+    """Randomized fault schedules never corrupt budget accounting."""
+
+    @given(
+        p_disconnect=st.floats(0.0, 0.4),
+        p_timeout=st.floats(0.0, 0.2),
+        p_corrupt=st.floats(0.0, 0.15),
+        p_reject=st.floats(0.0, 0.15),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_budgets_non_negative_and_bytes_conserved(
+        self, p_disconnect, p_timeout, p_corrupt, p_reject, seed
+    ):
+        config = FaultConfig(
+            p_disconnect=p_disconnect,
+            p_timeout=p_timeout,
+            p_corrupt=p_corrupt,
+            p_reject=p_reject,
+        )
+        engine = DeliveryEngine(
+            fault_policy=RandomFaultPolicy(config),
+            retry=RetryPolicy(
+                max_attempts=3,
+                base_backoff_seconds=0.0,
+                max_backoff_seconds=0.0,
+                degrade_after_attempts=1,
+            ),
+            rng=random.Random(seed),
+        )
+        chain = random.Random(seed + 1)
+        states = [
+            NetworkState.CELL if chain.random() < 0.75 else NetworkState.OFF
+            for _ in range(10)
+        ]
+        scheduler = make_util_scheduler(
+            engine, fixed_level=5, theta=1_500_000.0, network_states=states
+        )
+        for round_index in range(1, 11):
+            if round_index <= 6:
+                scheduler.enqueue(
+                    make_item(round_index, created_at=(round_index - 1) * ROUND)
+                )
+            scheduler.run_round(round_index * ROUND, ROUND)
+            assert scheduler.data_budget.available >= 0.0
+            assert scheduler.energy_budget.available >= 0.0
+            stats = engine.stats
+            assert stats.bytes_refunded <= stats.bytes_debited + 1e-6
+            assert stats.conservation_error() < 1e-6
+        device = scheduler.device
+        assert device.stats.bytes_downloaded >= -1e-6
+        assert device.stats.energy_spent_joules >= -1e-6
+
+
+class TestFlakyConnectivityWrapper:
+    def test_composes_with_trace_model(self):
+        base = TraceConnectivity([NetworkState.CELL])
+        flaky = FlakyConnectivity(base, p_outage=1.0, rng=random.Random(3))
+        flaky.step()
+        assert not flaky.connected
+        assert flaky.state is NetworkState.OFF
+        assert flaky.capacity_per_round(ROUND) == 0.0
+
+    def test_zero_outage_is_transparent(self):
+        base = TraceConnectivity([NetworkState.WIFI])
+        flaky = FlakyConnectivity(base, p_outage=0.0, rng=random.Random(3))
+        flaky.step()
+        assert flaky.connected
+        assert flaky.state is NetworkState.WIFI
+        assert flaky.bandwidth == base.bandwidth
+
+
+class TestSinkCircuitBreaker:
+    """Broker-side fault isolation: flush survives a raising sink."""
+
+    @staticmethod
+    def _broker(breaker=None):
+        from repro.pubsub.broker import Broker, DeliveryMode
+        from repro.pubsub.subscriptions import SubscriptionStore
+        from repro.pubsub.topics import Publication, Topic, TopicKind
+
+        store = SubscriptionStore()
+        topic = Topic(TopicKind.FRIEND, 9)
+        store.subscribe(1, topic)
+        broker = Broker(
+            subscriptions=store,
+            default_mode=DeliveryMode.ROUND,
+            breaker=breaker,
+        )
+
+        def publish(timestamp):
+            return broker.publish(
+                Publication(topic=topic, publisher_id=9, timestamp=timestamp)
+            )
+
+        return broker, publish
+
+    def test_flush_survives_failing_sink(self):
+        broker, publish = self._broker()
+        healthy: list[int] = []
+
+        def bad_sink(notification):
+            raise RuntimeError("push channel down")
+
+        broker.add_sink(bad_sink)
+        broker.add_sink(lambda n: healthy.append(n.notification_id))
+        for timestamp in (1.0, 2.0, 3.0):
+            publish(timestamp)
+        released = broker.flush()
+        assert len(released) == 3
+        # The healthy sink received the whole batch despite the bad one.
+        assert len(healthy) == 3
+        assert broker.stats.sink_errors == 3
+        assert broker.pending_count == 0
+
+    def test_breaker_open_half_open_closed(self):
+        from repro.pubsub.broker import BreakerState, CircuitBreakerConfig
+
+        breaker = CircuitBreakerConfig(failure_threshold=2, cooldown_skips=2)
+        broker, publish = self._broker(breaker=breaker)
+        failures_left = [2]
+
+        def recovering_sink(notification):
+            if failures_left[0] > 0:
+                failures_left[0] -= 1
+                raise RuntimeError("transient sink failure")
+
+        broker.add_sink(recovering_sink)
+
+        def flush_one(timestamp):
+            publish(timestamp)
+            broker.flush()
+
+        flush_one(1.0)
+        assert broker.breaker_states() == [BreakerState.CLOSED]
+        flush_one(2.0)  # second consecutive failure -> OPEN
+        assert broker.breaker_states() == [BreakerState.OPEN]
+        assert broker.stats.sink_errors == 2
+        flush_one(3.0)  # skipped (cooldown 1/2)
+        flush_one(4.0)  # skipped (cooldown 2/2)
+        assert broker.stats.sink_skipped == 2
+        assert broker.breaker_states() == [BreakerState.OPEN]
+        flush_one(5.0)  # HALF_OPEN probe; sink recovered -> CLOSED
+        assert broker.breaker_states() == [BreakerState.CLOSED]
+        assert broker.stats.sink_errors == 2  # no new errors
+        flush_one(6.0)
+        assert broker.breaker_states() == [BreakerState.CLOSED]
+
+    def test_half_open_probe_failure_reopens(self):
+        from repro.pubsub.broker import BreakerState, CircuitBreakerConfig
+
+        breaker = CircuitBreakerConfig(failure_threshold=1, cooldown_skips=1)
+        broker, publish = self._broker(breaker=breaker)
+
+        def always_bad(notification):
+            raise RuntimeError("permanently down")
+
+        broker.add_sink(always_bad)
+        for timestamp in (1.0, 2.0, 3.0):
+            publish(timestamp)
+            broker.flush()
+        # fail -> OPEN, skip, probe fails -> OPEN again
+        assert broker.breaker_states() == [BreakerState.OPEN]
+        assert broker.stats.sink_errors == 2
+        assert broker.stats.sink_skipped == 1
+
+    def test_realtime_dispatch_isolated_too(self):
+        from repro.pubsub.broker import Broker, DeliveryMode
+        from repro.pubsub.subscriptions import SubscriptionStore
+        from repro.pubsub.topics import Publication, Topic, TopicKind
+
+        store = SubscriptionStore()
+        topic = Topic(TopicKind.FRIEND, 9)
+        store.subscribe(1, topic)
+        broker = Broker(subscriptions=store, default_mode=DeliveryMode.REALTIME)
+        seen: list[int] = []
+        broker.add_sink(lambda n: (_ for _ in ()).throw(RuntimeError("boom")))
+        broker.add_sink(lambda n: seen.append(n.recipient_id))
+        notifications = broker.publish(
+            Publication(topic=topic, publisher_id=9, timestamp=1.0)
+        )
+        assert len(notifications) == 1
+        assert seen == [1]
+        assert broker.stats.sink_errors == 1
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+class TestChaosEndToEnd:
+    """Full-harness chaos runs: 20% disconnects plus a failing sink.
+
+    Acceptance: the run completes with zero unhandled exceptions, bytes
+    are conserved (delivered + refunded + dead-lettered == debited), and
+    the failure metrics surface through :class:`ExperimentResult`.
+    """
+
+    def test_experiment_under_faults_conserves_bytes(self, seed):
+        from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+        from repro.experiments.reporting import render_failure_stats
+        from repro.experiments.runner import UtilityAnnotations, run_experiment
+        from repro.experiments.workloads import eval_workload
+
+        workload = eval_workload("small")
+        config = ExperimentConfig(
+            weekly_budget_mb=5.0,
+            seed=seed,
+            use_oracle_utility=True,
+            faults=FaultConfig(
+                p_disconnect=0.2, p_timeout=0.05, p_corrupt=0.02, p_reject=0.03
+            ),
+        )
+        annotations = UtilityAnnotations.train(workload, oracle=True)
+        result = run_experiment(
+            workload,
+            MethodSpec(Method.RICHNOTE),
+            config,
+            annotations,
+            workload.top_users(6),
+        )
+        failures = result.failures
+        assert failures.attempts > 0
+        assert failures.failed_attempts > 0
+        assert failures.fault_counts.get("disconnect", 0) > 0
+        assert failures.refunded_bytes <= failures.debited_bytes + 1e-6
+        assert failures.conservation_error() < 1e-3
+        # The report renders without blowing up and flags conservation ok.
+        assert "conservation" in render_failure_stats(failures)
+        assert "VIOLATED" not in render_failure_stats(failures)
+
+    def test_faults_off_matches_seed_behaviour(self, seed):
+        """faults=None must reproduce the atomic path bit-for-bit."""
+        from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+        from repro.experiments.runner import UtilityAnnotations, run_experiment
+        from repro.experiments.workloads import eval_workload
+
+        workload = eval_workload("small")
+        annotations = UtilityAnnotations.train(workload, oracle=True)
+        users = workload.top_users(4)
+        config = ExperimentConfig(
+            weekly_budget_mb=5.0, seed=seed, use_oracle_utility=True
+        )
+        baseline = run_experiment(
+            workload, MethodSpec(Method.UTIL, 3), config, annotations, users
+        )
+        again = run_experiment(
+            workload, MethodSpec(Method.UTIL, 3), config, annotations, users
+        )
+        assert baseline.aggregate.row() == again.aggregate.row()
+        assert baseline.failures.attempts == 0
+        assert baseline.failures.dead_letters == 0
