@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint bench artifacts examples clean
+.PHONY: install test chaos lint analyze bench artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,12 +15,27 @@ test:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m chaos -q
 
+# Style lint (ruff). Fails loudly when ruff is missing under CI (or with
+# REQUIRE_RUFF=1) instead of silently skipping -- a green lint job must
+# mean the linter actually ran.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
+	elif [ -n "$$CI" ] || [ -n "$$REQUIRE_RUFF" ]; then \
+		echo "error: ruff is required (CI/REQUIRE_RUFF set) but not installed" >&2; \
+		exit 1; \
 	else \
-		echo "ruff not installed; skipping lint"; \
+		echo "ruff not installed; skipping lint (set REQUIRE_RUFF=1 to fail instead)"; \
 	fi
+
+# Domain-invariant lint (richlint): unit safety, determinism, float and
+# dataclass hygiene, conservation markers. src/ must be clean against the
+# baseline; tests/ run warn-only (assertion idioms like exact float
+# equality are fine there), with the analyzer's own rule fixtures excluded.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.analysis tests benchmarks examples \
+		--warn-only --exclude 'tests/fixtures/*'
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,64 @@
+"""richlint: AST-based domain-invariant analysis for the RichNote codebase.
+
+Generic linters check style; this package checks the *physics* of the
+reproduction.  The pipeline is dense with implicit invariants -- bytes vs
+KB vs MB (a d-second preview is d x 20 KB, metadata is 200 B), joules vs
+the paper's kappa = 3 kJ/h energy budget, Lyapunov queue updates that must
+never mint negative backlog -- and the refund/conservation logic of the
+fault-tolerant delivery path makes unit and determinism bugs the dominant
+risk class.  richlint parses the tree with :mod:`ast` and enforces rules a
+generic linter cannot express:
+
+=========  ================  ==================================================
+Code       Name              What it catches
+=========  ================  ==================================================
+``RL101``  unit-mix          ``+``/``-``/comparison between identifiers whose
+                             unit suffixes conflict (``_bytes`` vs ``_kb``,
+                             ``_joules`` vs ``_kj``, ``_seconds`` vs ``_hours``)
+``RL102``  bare-literal      bare numeric literals passed to budget APIs
+                             (``debit``/``credit``/``can_afford``/``replenish``)
+``RL201``  global-rng        module-global RNG state (``random.random()``,
+                             ``np.random.shuffle``, ``random.seed`` ...)
+``RL202``  unseeded-rng      ``random.Random()`` / ``default_rng()`` without a
+                             seed argument
+``RL203``  wallclock         ``time.time()`` / ``datetime.now()`` inside the
+                             deterministic zones (``core/``, ``sim/``,
+                             ``experiments/``)
+``RL204``  set-iteration     iteration over a ``set`` in scheduling hot paths
+                             (``core/``) -- set order is hash-randomized
+``RL301``  float-eq          ``==``/``!=`` on float-typed utility/budget
+                             quantities (exact-zero guards are exempt)
+``RL401``  mutable-default   mutable dataclass field defaults
+``RL402``  unfrozen-key      unfrozen (hash-less) dataclass instances used as
+                             dict/set keys
+``RL501``  early-return      a ``return`` inside the debit..credit window of a
+                             function marked ``@conserves`` (skips the refund
+                             path, breaking ``debited == delivered + refunded
+                             + wasted``)
+=========  ================  ==================================================
+
+Rule families are selectable as ``R1`` .. ``R5`` (prefix groups).  Findings
+are suppressed inline with ``# richlint: ignore[RL204] -- reason`` (same
+line or the comment line directly above), or parked in a baseline file so
+existing debt does not block CI.
+
+Entry points: ``python -m repro.analysis`` and ``richnote lint``.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Finding,
+    analyze_paths,
+    analyze_source,
+    default_rules,
+)
+from repro.analysis.markers import conserves
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "analyze_paths",
+    "analyze_source",
+    "conserves",
+    "default_rules",
+]

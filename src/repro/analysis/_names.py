@@ -1,0 +1,74 @@
+"""Shared AST name-resolution helpers for richlint rules.
+
+Rules need to know what ``np.random.shuffle`` *is*, not what it is
+spelled as.  :class:`ImportMap` records every import alias in a module;
+:func:`resolve_call_target` then canonicalizes a call's function
+expression to a dotted path (``numpy.random.shuffle``) regardless of
+``import numpy as np`` / ``from numpy import random`` spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Local alias -> canonical dotted module/attribute path."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import numpy.random`` binds ``numpy``; with asname
+                    # the alias points at the full dotted module.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports never shadow stdlib targets
+                    continue
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def canonical(self, dotted: str) -> str:
+        """Rewrite the first segment through the alias table."""
+        head, _, rest = dotted.partition(".")
+        base = self.aliases.get(head)
+        if base is None:
+            return dotted
+        return f"{base}.{rest}" if rest else base
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain; ``None`` for anything else."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_target(call: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted path of a call's target, or ``None`` if dynamic."""
+    raw = dotted_name(call.func)
+    if raw is None:
+        return None
+    return imports.canonical(raw)
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.C`` -> ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,195 @@
+"""Command-line front end for richlint.
+
+Invocable three ways, all sharing this module::
+
+    python -m repro.analysis src/repro
+    richnote lint src/repro tests --warn-only
+    make analyze
+
+Exit codes: 0 clean (or ``--warn-only``), 1 findings/parse errors,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    analyze_paths,
+    default_rules,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "richlint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="richnote lint",
+        description=(
+            "richlint: AST-based domain-invariant analysis (unit safety, "
+            "determinism, float hygiene, dataclass hygiene, conservation)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma list of rules to run (codes RL204, families R2, or names)",
+    )
+    parser.add_argument(
+        "--ignore-rules",
+        default=None,
+        metavar="RULES",
+        help="comma list of rules to skip (same selectors as --select)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report all findings",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but always exit 0",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="relpath glob(s) to skip, e.g. 'tests/fixtures/*'",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list inline-suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def _render_text(report: AnalysisReport, show_suppressed: bool) -> str:
+    lines: list[str] = []
+    for finding in report.parse_errors:
+        lines.append(finding.render())
+    for finding in report.findings:
+        lines.append(finding.render())
+    if show_suppressed:
+        for finding, reason in report.suppressed:
+            note = f" ({reason})" if reason else ""
+            lines.append(f"suppressed: {finding.render()}{note}")
+        for finding in report.baselined:
+            lines.append(f"baselined: {finding.render()}")
+    total = len(report.findings) + len(report.parse_errors)
+    summary = (
+        f"richlint: {report.files_checked} files, {total} finding(s), "
+        f"{len(report.suppressed)} suppressed, {len(report.baselined)} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(report: AnalysisReport) -> str:
+    def encode(finding) -> dict:
+        return {
+            "code": finding.code,
+            "name": finding.name,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+        }
+
+    payload = {
+        "files_checked": report.files_checked,
+        "findings": [encode(f) for f in report.findings + report.parse_errors],
+        "suppressed": [
+            {**encode(f), "reason": reason} for f, reason in report.suppressed
+        ],
+        "baselined": [encode(f) for f in report.baselined],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            scope = f" [{'/'.join(rule.scope)} only]" if rule.scope else ""
+            print(f"{rule.code}  {rule.name:<16} {rule.summary}{scope}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    baseline = None if args.no_baseline else Path(args.baseline)
+    try:
+        report = analyze_paths(
+            paths=args.paths,
+            root=args.root,
+            select=args.select,
+            ignore=args.ignore_rules,
+            baseline=None if args.update_baseline else baseline,
+            exclude=tuple(args.exclude),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    if args.update_baseline:
+        if baseline is None:
+            parser.error("--update-baseline conflicts with --no-baseline")
+        write_baseline(baseline, report.findings, report.modules_by_path)
+        print(
+            f"richlint: wrote {len(report.findings)} finding(s) to {baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(_render_json(report))
+    else:
+        print(_render_text(report, args.show_suppressed))
+
+    if args.warn_only:
+        return 0
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

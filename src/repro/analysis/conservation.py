@@ -1,0 +1,113 @@
+"""R5: conservation markers.
+
+The fault-tolerant delivery path promises byte conservation: over any
+run, ``debited == delivered + refunded + wasted``.  The chaos suite
+checks the *numbers* at runtime; this rule guards the *shape* of the
+code so a refactor cannot silently open a leak.
+
+A function opts in by carrying the :func:`repro.analysis.markers.conserves`
+decorator (bare or with the invariant string) or a ``# richlint:
+conserves`` comment on its ``def`` line.  ``RL501`` then flags any
+``return`` statement in the *debit window*: lexically after the first
+``.debit(...)`` call and before the last ``credit``/``refund`` call (or,
+when the function never credits, before its final statement).  A return
+inside that window exits with budget debited but neither delivered nor
+refunded -- exactly the early-return class of bug that breaks
+conservation.  Nested function definitions are skipped; a deliberate
+early exit can be suppressed with ``# richlint: ignore[RL501] -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis._names import terminal_name
+from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
+
+_DEBIT_NAMES = frozenset({"debit"})
+_CREDIT_NAMES = frozenset({"credit", "refund"})
+
+
+def _is_conserving(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, module: ModuleInfo
+) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if terminal_name(target) == "conserves":
+            return True
+    return module.has_conserves_comment(node.lineno)
+
+
+def _walk_function_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _walk_function_scope(child)
+
+
+def _call_lines(body: list[ast.stmt], names: frozenset[str]) -> list[int]:
+    lines: list[int] = []
+    for statement in body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in [statement, *_walk_function_scope(statement)]:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in names
+            ):
+                lines.append(node.lineno)
+    return lines
+
+
+class ConservationEarlyReturnRule(Rule):
+    code = "RL501"
+    name = "early-return"
+    summary = "return inside the debit..credit window of a @conserves function"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_conserving(node, module):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleInfo, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        debit_lines = _call_lines(node.body, _DEBIT_NAMES)
+        if not debit_lines:
+            return
+        window_start = min(debit_lines)
+        credit_lines = _call_lines(node.body, _CREDIT_NAMES)
+        final_statement = node.body[-1]
+        if credit_lines:
+            window_end = max(credit_lines)
+        else:
+            # No refund path at all: any non-final return after the first
+            # debit abandons the accounting.
+            window_end = getattr(node, "end_lineno", final_statement.lineno) or (
+                final_statement.lineno
+            )
+
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in [statement, *_walk_function_scope(statement)]:
+                if not isinstance(inner, ast.Return):
+                    continue
+                if inner is final_statement:
+                    continue  # the function's own terminal return
+                if window_start < inner.lineno < window_end:
+                    yield self.finding(
+                        module,
+                        inner,
+                        "return inside the debit..credit window of a "
+                        "@conserves function: this path exits with budget "
+                        "debited but not delivered/refunded, breaking "
+                        "debited == delivered + refunded + wasted",
+                    )

@@ -1,0 +1,156 @@
+"""R4: dataclass hygiene.
+
+The codebase leans hard on dataclasses: frozen value types for
+configuration and queue snapshots, mutable ones for accumulating stats.
+Two foot-guns recur:
+
+* ``RL401`` -- a mutable default (``= []``, ``= {}``, ``= set()``,
+  ``field(default=[...])``) is evaluated once at class-definition time
+  and shared by every instance; state leaks across schedulers/users.
+  Use ``field(default_factory=...)``.
+* ``RL402`` -- an *unfrozen* dataclass (with default ``eq=True``) has
+  ``__hash__ = None``; instances cannot key dicts/sets, and making them
+  hashable by hand invites silent key drift when a field mutates.  Keys
+  must be ``frozen=True`` dataclasses (or plain immutables).  The class
+  registry is built project-wide in pass 1, so usage in one module is
+  checked against a declaration in another.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis._names import terminal_name
+from repro.analysis.engine import (
+    DataclassInfo,
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    Rule,
+)
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+class MutableDefaultRule(Rule):
+    code = "RL401"
+    name = "mutable-default"
+    summary = "mutable default on a dataclass field"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in index.dataclasses:
+                continue
+            for statement in node.body:
+                default: ast.expr | None = None
+                if isinstance(statement, ast.AnnAssign):
+                    default = statement.value
+                elif isinstance(statement, ast.Assign):
+                    default = statement.value
+                if default is None:
+                    continue
+                if _is_mutable_literal(default):
+                    yield self.finding(
+                        module,
+                        statement,
+                        f"mutable default on dataclass {node.name}: shared "
+                        "across instances; use field(default_factory=...)",
+                    )
+                elif (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id == "field"
+                ):
+                    for keyword in default.keywords:
+                        if keyword.arg == "default" and _is_mutable_literal(
+                            keyword.value
+                        ):
+                            yield self.finding(
+                                module,
+                                statement,
+                                f"field(default=<mutable>) on dataclass "
+                                f"{node.name}; use default_factory",
+                            )
+
+
+def _unhashable_target(
+    node: ast.expr, index: ProjectIndex
+) -> DataclassInfo | None:
+    """The unhashable-dataclass info if ``node`` constructs one."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = terminal_name(node.func)
+    if name is None:
+        return None
+    info = index.dataclasses.get(name)
+    if info is not None and not info.hashable:
+        return info
+    return None
+
+
+class UnfrozenKeyRule(Rule):
+    code = "RL402"
+    name = "unfrozen-key"
+    summary = "unfrozen dataclass instance used as a dict/set key"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript):
+                info = _unhashable_target(node.slice, index)
+                if info is not None:
+                    yield self._usage(module, node, info, "as a subscript key")
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is None:
+                        continue
+                    info = _unhashable_target(key, index)
+                    if info is not None:
+                        yield self._usage(module, key, info, "as a dict key")
+            elif isinstance(node, ast.Set):
+                for element in node.elts:
+                    info = _unhashable_target(element, index)
+                    if info is not None:
+                        yield self._usage(module, element, info, "in a set")
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for position, op in enumerate(node.ops):
+                    if not isinstance(op, (ast.In, ast.NotIn)):
+                        continue
+                    info = _unhashable_target(operands[position], index)
+                    if info is not None:
+                        yield self._usage(
+                            module, node, info, "in a membership test"
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                    and node.args
+                ):
+                    info = _unhashable_target(node.args[0], index)
+                    if info is not None:
+                        yield self._usage(module, node, info, "passed to hash()")
+
+    def _usage(
+        self, module: ModuleInfo, node: ast.AST, info: DataclassInfo, context: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"unfrozen dataclass {info.name} (declared at {info.path}:"
+            f"{info.line}) used {context}: unfrozen+eq dataclasses are "
+            "unhashable; declare it frozen=True or key on an immutable field",
+        )

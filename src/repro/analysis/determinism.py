@@ -1,0 +1,251 @@
+"""R2: determinism.
+
+Bit-reproducible runs are the contract of the whole reproduction: every
+figure is regenerated from a seed, and the chaos suite replays fault
+schedules from fixed seeds.  Four rules guard that contract:
+
+* ``RL201`` -- calls that read or mutate *module-global* RNG state
+  (``random.random()``, ``random.seed()``, ``np.random.shuffle`` ...).
+  Global streams are shared across call sites, so unrelated code reorders
+  draws; every consumer must take an explicit ``random.Random(seed)`` /
+  ``default_rng(seed)`` stream instead.
+* ``RL202`` -- ``random.Random()`` / ``np.random.default_rng()`` with no
+  seed argument: a fresh OS-entropy stream that differs run to run.
+* ``RL203`` -- wall-clock reads (``time.time()``, ``datetime.now()``)
+  inside the deterministic zones ``core/``, ``sim/``, ``experiments/``:
+  simulation time is the only clock there.
+* ``RL204`` -- iterating a ``set`` in scheduling hot paths (``core/``):
+  str/object hashes are randomized per process, so iteration order -- and
+  therefore tie-breaks in selection -- would differ between runs.
+  Iterate a list, or ``sorted(...)`` the set first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis._names import ImportMap, resolve_call_target
+from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
+
+#: random-module constructors that accept an explicit seed.
+_SEEDABLE = {"random.Random", "numpy.random.default_rng"}
+
+#: numpy.random attributes that are fine to call/construct explicitly.
+_NUMPY_EXPLICIT = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.BitGenerator",
+}
+
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    return bool(call.args) or bool(call.keywords)
+
+
+class GlobalRngRule(Rule):
+    code = "RL201"
+    name = "global-rng"
+    summary = "call into module-global RNG state"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target is None:
+                continue
+            if target == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom draws OS entropy and can never be "
+                    "seeded; use random.Random(seed)",
+                )
+            elif target.startswith("random.") and target not in _SEEDABLE:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{target}() uses the interpreter-global RNG stream; "
+                    "thread an explicit random.Random(seed) through instead",
+                )
+            elif (
+                target.startswith("numpy.random.")
+                and target not in _NUMPY_EXPLICIT
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{target}() uses numpy's global RNG state; use "
+                    "np.random.default_rng(seed)",
+                )
+
+
+class UnseededRngRule(Rule):
+    code = "RL202"
+    name = "unseeded-rng"
+    summary = "RNG constructed without an explicit seed"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target in _SEEDABLE and not _has_seed_argument(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{target}() without a seed draws OS entropy; pass an "
+                    "explicit seed so runs replay",
+                )
+
+
+class WallClockRule(Rule):
+    code = "RL203"
+    name = "wallclock"
+    summary = "wall-clock read inside a deterministic zone"
+    scope = ("core", "sim", "experiments")
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, imports)
+            if target in _WALLCLOCK:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{target}() reads the wall clock inside a deterministic "
+                    "zone; use simulation time (the `now` parameter) instead",
+                )
+
+
+class _SetNameCollector(ast.NodeVisitor):
+    """Names bound to set values within one scope (no nested functions)."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        pass  # do not descend: nested scopes track their own bindings
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        if isinstance(node.target, ast.Name) and (
+            _is_set_expr(node.value) or _is_set_annotation(node.annotation)
+        ):
+            self.names.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+def _is_set_annotation(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    target = node
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+    if isinstance(target, ast.Attribute):
+        return target.attr in {"Set", "FrozenSet", "AbstractSet"}
+    return False
+
+
+def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+class SetIterationRule(Rule):
+    code = "RL204"
+    name = "set-iteration"
+    summary = "iteration over a set in a scheduling hot path"
+    scope = ("core",)
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for scope_node, body in _scopes(module.tree):
+            collector = _SetNameCollector()
+            for statement in body:
+                collector.visit(statement)
+            if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for argument in [
+                    *scope_node.args.posonlyargs,
+                    *scope_node.args.args,
+                    *scope_node.args.kwonlyargs,
+                ]:
+                    if _is_set_annotation(argument.annotation):
+                        collector.names.add(argument.arg)
+            yield from self._check_scope(module, body, collector.names)
+
+    def _check_scope(
+        self, module: ModuleInfo, body: list[ast.stmt], set_names: set[str]
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes are visited by _scopes separately
+            for node in _walk_same_scope(statement):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iters.extend(gen.iter for gen in node.generators)
+                for iterable in iters:
+                    if _is_set_expr(iterable) or (
+                        isinstance(iterable, ast.Name) and iterable.id in set_names
+                    ):
+                        yield self.finding(
+                            module,
+                            iterable,
+                            "iterating a set in a scheduling hot path: hash "
+                            "randomization makes the order differ between "
+                            "runs; iterate a list or sorted(...) instead",
+                        )
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield from _walk_same_scope(child)

@@ -1,0 +1,527 @@
+"""richlint's rule engine: file loading, suppressions, baseline, dispatch.
+
+The engine runs in two passes.  Pass 1 parses every target file and builds
+a project-wide index (currently: which dataclasses are declared where, and
+whether they are hashable), so rules can reason across modules.  Pass 2
+runs each enabled rule over each module and filters the raw findings
+through inline suppressions and the baseline file.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Rule code for files the analyzer itself cannot parse.
+PARSE_ERROR_CODE = "RL901"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*richlint:\s*ignore"
+    r"(?:\[(?P<codes>[A-Za-z0-9_,\- ]+)\])?"
+    r"(?:\s*--\s*(?P<reason>.*))?"
+)
+
+_CONSERVES_COMMENT_RE = re.compile(r"#\s*richlint:\s*conserves\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} [{self.name}] {self.message}"
+
+
+@dataclass(frozen=True)
+class DataclassInfo:
+    """Project-index entry for one ``@dataclass`` declaration."""
+
+    name: str
+    path: str
+    line: int
+    frozen: bool
+    eq: bool
+
+    @property
+    def hashable(self) -> bool:
+        # dataclass semantics: eq=True (default) without frozen=True sets
+        # __hash__ = None; eq=False keeps identity hashing.
+        return self.frozen or not self.eq
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-module facts collected in pass 1."""
+
+    dataclasses: dict[str, DataclassInfo] = field(default_factory=dict)
+
+
+@dataclass
+class Suppression:
+    codes: frozenset[str] | None  # None = all rules
+    reason: str
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.relpath).parts
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def has_conserves_comment(self, lineno: int) -> bool:
+        return bool(_CONSERVES_COMMENT_RE.search(self.line_text(lineno)))
+
+
+class Rule:
+    """Base class: subclasses set the class vars and implement :meth:`check`.
+
+    ``scope`` restricts a rule to files whose relative path contains one of
+    the named directory parts (e.g. ``("core", "sim")``); ``None`` means
+    the rule applies everywhere.
+    """
+
+    code: str = "RL000"
+    name: str = "abstract"
+    summary: str = ""
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if self.scope is None:
+            return True
+        parts = set(module.parts)
+        return any(part in parts for part in self.scope)
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            name=self.name,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def default_rules() -> list[Rule]:
+    """Every shipped rule, in code order."""
+    # Imported here so ``engine`` has no import-time dependency on the rule
+    # modules (they import ``engine`` for the base class).
+    from repro.analysis.conservation import ConservationEarlyReturnRule
+    from repro.analysis.dataclass_rules import MutableDefaultRule, UnfrozenKeyRule
+    from repro.analysis.determinism import (
+        GlobalRngRule,
+        SetIterationRule,
+        UnseededRngRule,
+        WallClockRule,
+    )
+    from repro.analysis.floats import FloatEqualityRule
+    from repro.analysis.units import BareLiteralBudgetRule, UnitMixRule
+
+    return [
+        UnitMixRule(),
+        BareLiteralBudgetRule(),
+        GlobalRngRule(),
+        UnseededRngRule(),
+        WallClockRule(),
+        SetIterationRule(),
+        FloatEqualityRule(),
+        MutableDefaultRule(),
+        UnfrozenKeyRule(),
+        ConservationEarlyReturnRule(),
+    ]
+
+
+# -- selection -----------------------------------------------------------------
+
+
+def _normalize_code(token: str, rules: Sequence[Rule]) -> set[str]:
+    """Expand one selector token to concrete rule codes.
+
+    Accepts a full code (``RL204``), a family (``R2`` or ``RL2``), or a
+    rule name (``set-iteration``).  Unknown tokens raise ``ValueError`` so
+    typos in CI configs fail loudly instead of silently selecting nothing.
+    """
+    token = token.strip()
+    if not token:
+        return set()
+    upper = token.upper()
+    by_code = {rule.code for rule in rules if rule.code == upper}
+    if by_code:
+        return by_code
+    family = None
+    if re.fullmatch(r"R\d", upper):
+        family = f"RL{upper[1]}"
+    elif re.fullmatch(r"RL\d", upper):
+        family = upper
+    if family is not None:
+        members = {rule.code for rule in rules if rule.code.startswith(family)}
+        if members:
+            return members
+    by_name = {rule.code for rule in rules if rule.name == token.lower()}
+    if by_name:
+        return by_name
+    raise ValueError(f"unknown richlint rule selector: {token!r}")
+
+
+def resolve_selectors(
+    tokens: Iterable[str] | None, rules: Sequence[Rule]
+) -> set[str] | None:
+    """Expand a comma/list of selectors; ``None``/empty means "no filter"."""
+    if not tokens:
+        return None
+    codes: set[str] = set()
+    for token in tokens:
+        for part in token.split(","):
+            codes |= _normalize_code(part, rules)
+    return codes or None
+
+
+# -- suppressions --------------------------------------------------------------
+
+
+def parse_suppressions(lines: Sequence[str]) -> dict[int, Suppression]:
+    """Map line number -> suppression for every ``# richlint: ignore``.
+
+    A suppression on a *pure comment line* also covers the line directly
+    below it, so long expressions can carry the ignore above them.
+    """
+    table: dict[int, Suppression] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        raw_codes = match.group("codes")
+        codes = (
+            frozenset(c.strip().upper() for c in raw_codes.split(",") if c.strip())
+            if raw_codes
+            else None
+        )
+        suppression = Suppression(codes=codes, reason=(match.group("reason") or "").strip())
+        table[number] = suppression
+        if text.lstrip().startswith("#"):
+            table.setdefault(number + 1, suppression)
+    return table
+
+
+def _suppressed(finding: Finding, module: ModuleInfo, rules_by_code: dict[str, Rule]) -> bool:
+    suppression = module.suppressions.get(finding.line)
+    if suppression is None:
+        return False
+    if suppression.codes is None:
+        return True
+    if finding.code in suppression.codes:
+        return True
+    rule = rules_by_code.get(finding.code)
+    name = rule.name.upper() if rule is not None else ""
+    for token in suppression.codes:
+        if token == name:
+            return True
+        if re.fullmatch(r"R\d", token) and finding.code.startswith(f"RL{token[1]}"):
+            return True
+    return False
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def fingerprint(finding: Finding, occurrence: int, line_text: str) -> str:
+    """Stable, line-number-free identity for baselining.
+
+    Built from path, rule and the *text* of the offending line (plus an
+    occurrence counter for duplicates), so unrelated edits above the
+    finding do not churn the baseline.
+    """
+    payload = f"{finding.path}::{finding.code}::{line_text.strip()}::{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprints(
+    findings: Sequence[Finding], modules_by_path: dict[str, ModuleInfo]
+) -> list[str]:
+    counters: dict[tuple[str, str, str], int] = {}
+    prints: list[str] = []
+    for finding in findings:
+        module = modules_by_path.get(finding.path)
+        text = module.line_text(finding.line) if module is not None else ""
+        key = (finding.path, finding.code, text.strip())
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        prints.append(fingerprint(finding, occurrence, text))
+    return prints
+
+
+def load_baseline(path: Path | None) -> set[str]:
+    if path is None or not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"malformed baseline file: {path}")
+    return {entry["fingerprint"] for entry in data["entries"]}
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    modules_by_path: dict[str, ModuleInfo],
+) -> None:
+    prints = _fingerprints(findings, modules_by_path)
+    entries = [
+        {
+            "path": finding.path,
+            "code": finding.code,
+            "line": finding.line,
+            "fingerprint": print_,
+        }
+        for finding, print_ in sorted(
+            zip(findings, prints), key=lambda pair: (pair[0].path, pair[0].line)
+        )
+    ]
+    payload = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# -- loading and running -------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def _relpath(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_module(path: Path, root: Path | None = None) -> ModuleInfo | Finding:
+    """Parse one file; returns a parse-error :class:`Finding` on failure."""
+    relpath = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return Finding(
+            code=PARSE_ERROR_CODE,
+            name="syntax-error",
+            path=relpath,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            message=f"could not parse: {error.msg}",
+        )
+    lines = source.splitlines()
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _bool_kwarg(decorator: ast.expr, name: str, default: bool) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return default
+    for keyword in decorator.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return default
+
+
+def build_index(modules: Sequence[ModuleInfo]) -> ProjectIndex:
+    index = ProjectIndex()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            index.dataclasses[node.name] = DataclassInfo(
+                name=node.name,
+                path=module.relpath,
+                line=node.lineno,
+                frozen=_bool_kwarg(decorator, "frozen", False),
+                eq=_bool_kwarg(decorator, "eq", True),
+            )
+    return index
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one richlint run learned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    modules_by_path: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    root: Path | str | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: Path | str | None = None,
+    exclude: Sequence[str] = (),
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisReport:
+    """Run richlint over files/directories and return a full report."""
+    rule_list = list(rules) if rules is not None else default_rules()
+    selected = resolve_selectors(
+        [select] if isinstance(select, str) else select, rule_list
+    )
+    ignored = resolve_selectors(
+        [ignore] if isinstance(ignore, str) else ignore, rule_list
+    )
+    active = [
+        rule
+        for rule in rule_list
+        if (selected is None or rule.code in selected)
+        and (ignored is None or rule.code not in ignored)
+    ]
+    rules_by_code = {rule.code: rule for rule in rule_list}
+
+    root_path = Path(root) if root is not None else None
+    report = AnalysisReport()
+    modules: list[ModuleInfo] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        relpath = _relpath(file_path, root_path)
+        if any(fnmatch.fnmatch(relpath, pattern) for pattern in exclude):
+            continue
+        loaded = load_module(file_path, root_path)
+        if isinstance(loaded, Finding):
+            report.parse_errors.append(loaded)
+            continue
+        modules.append(loaded)
+    report.files_checked = len(modules)
+    report.modules_by_path = {module.relpath: module for module in modules}
+
+    index = build_index(modules)
+    baseline_prints = load_baseline(Path(baseline) if baseline else None)
+
+    raw: list[Finding] = []
+    for module in modules:
+        for rule in active:
+            if not rule.applies_to(module):
+                continue
+            raw.extend(rule.check(module, index))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    survivors: list[Finding] = []
+    for finding in raw:
+        module = report.modules_by_path[finding.path]
+        if _suppressed(finding, module, rules_by_code):
+            reason = module.suppressions[finding.line].reason
+            report.suppressed.append((finding, reason))
+        else:
+            survivors.append(finding)
+
+    if baseline_prints:
+        prints = _fingerprints(survivors, report.modules_by_path)
+        for finding, print_ in zip(survivors, prints):
+            if print_ in baseline_prints:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    else:
+        report.findings = survivors
+    return report
+
+
+def analyze_source(
+    source: str,
+    relpath: str = "module.py",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Analyze a source string (test/fixture helper, no filesystem).
+
+    ``relpath`` controls scope matching, so passing ``"core/x.py"``
+    exercises the hot-path-scoped rules.
+    """
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    module = ModuleInfo(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=parse_suppressions(lines),
+    )
+    index = build_index([module])
+    rule_list = list(rules) if rules is not None else default_rules()
+    rules_by_code = {rule.code: rule for rule in rule_list}
+    findings: list[Finding] = []
+    for rule in rule_list:
+        if rule.applies_to(module):
+            findings.extend(rule.check(module, index))
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return [f for f in findings if not _suppressed(f, module, rules_by_code)]

@@ -1,0 +1,98 @@
+"""R3: float hygiene.
+
+Utilities, budgets and energy shares are floats produced by long chains
+of arithmetic (proportional energy attribution, Lyapunov scaling,
+logistic scores).  Exact ``==``/``!=`` on such quantities is a latent
+bug: two mathematically equal expressions routinely differ in the last
+ulp.  ``RL301`` flags equality comparisons where either operand is
+
+* a non-zero float literal (``if upper == 1.0``), or
+* an identifier whose name marks it as a float quantity -- a unit suffix
+  (``_bytes``, ``_joules``, ...) or a utility/budget keyword.
+
+Comparisons against a literal ``0``/``0.0`` are exempt: the budget and
+queue code floors values at exactly ``0.0`` (``max(0.0, ...)``, the
+Lyapunov ``[.]^+`` update), so exact-zero sentinels are well defined.
+The fix for a true positive is ``math.isclose`` / an explicit tolerance,
+or restructuring to compare exact quantities (indices, ints).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
+from repro.analysis.units import UNIT_SUFFIXES
+
+#: Identifier fragments that mark a float-valued domain quantity.
+_FLOAT_KEYWORDS = ("utility", "joule", "budget", "fraction", "ratio", "prob")
+
+
+def _identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_float_hinted(node: ast.expr) -> bool:
+    identifier = _identifier(node)
+    if identifier is None:
+        return False
+    lowered = identifier.lower()
+    if any(lowered.endswith(suffix) for suffix in UNIT_SUFFIXES):
+        return True
+    return any(keyword in lowered for keyword in _FLOAT_KEYWORDS)
+
+
+def _is_zero_constant(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and node.value == 0
+    )
+
+
+def _is_nonzero_float_constant(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+class FloatEqualityRule(Rule):
+    code = "RL301"
+    name = "float-eq"
+    summary = "exact ==/!= on float-typed utility/budget quantities"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for position, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[position], operands[position + 1])
+                if any(_is_zero_constant(operand) for operand in pair):
+                    continue  # exact-zero sentinel: well defined here
+                if any(_is_nonzero_float_constant(operand) for operand in pair):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact equality against a float literal; use "
+                        "math.isclose or compare an exact quantity",
+                    )
+                    break
+                if any(_is_float_hinted(operand) for operand in pair):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact ==/!= between float-typed domain quantities; "
+                        "use math.isclose or an explicit tolerance",
+                    )
+                    break

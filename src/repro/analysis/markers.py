@@ -1,0 +1,39 @@
+"""Runtime-inert markers that richlint recognizes in the AST.
+
+This module must stay dependency-free (it is imported by ``core/``), and
+the decorators must be zero-cost at runtime: they only exist so the
+analyzer -- and human readers -- can see which functions promise an
+accounting invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar, overload
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def conserves(invariant: F) -> F: ...
+@overload
+def conserves(invariant: str) -> Callable[[F], F]: ...
+
+
+def conserves(invariant):
+    """Mark a function as *conserving*: every debit it performs is matched
+    by delivery, refund, or waste accounting on every exit path.
+
+    Usable bare (``@conserves``) or with the invariant spelled out for
+    documentation (``@conserves("debited == delivered + refunded +
+    wasted")``).  richlint rule ``RL501`` flags any ``return`` statement
+    added between the function's first ``debit`` call and its last
+    ``credit``/``refund`` call -- the lexical window in which an early
+    return would strand debited budget.
+    """
+    if callable(invariant):
+        return invariant
+
+    def mark(fn: F) -> F:
+        return fn
+
+    return mark

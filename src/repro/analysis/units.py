@@ -1,0 +1,141 @@
+"""R1: unit safety.
+
+The paper's quantities live in specific units -- preview sizes in KB
+(d-sec preview = d x 20 KB), budgets in bytes and MB, energy in joules
+against a kappa = 3 kJ/h target, rounds in seconds against hour-long
+periods.  The codebase encodes units in identifier suffixes (``_bytes``,
+``_joules``, ``_seconds`` ...), which makes mixing detectable:
+
+* ``RL101`` flags ``+``/``-``/comparisons whose operands carry
+  *conflicting* unit suffixes (different magnitudes of one dimension, or
+  different dimensions outright).  An operand that is itself an
+  arithmetic expression is treated as unit-unknown, so the idiomatic fix
+  -- multiplying through a conversion constant (``budget_mb * MB``)
+  -- silences the rule naturally.
+* ``RL102`` flags bare numeric literals fed to the budget APIs
+  (``debit``/``credit``/``can_afford``/``replenish``): a literal carries
+  no unit, so readers cannot audit the call.  Name the constant with a
+  unit suffix instead.  Zero is exempt (it is unit-free).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
+
+#: suffix -> (dimension, human magnitude label)
+UNIT_SUFFIXES: dict[str, tuple[str, str]] = {
+    "_bytes": ("data", "bytes"),
+    "_kb": ("data", "KB"),
+    "_mb": ("data", "MB"),
+    "_gb": ("data", "GB"),
+    "_joules": ("energy", "J"),
+    "_kj": ("energy", "kJ"),
+    "_ms": ("time", "ms"),
+    "_seconds": ("time", "s"),
+    "_secs": ("time", "s"),
+    "_minutes": ("time", "min"),
+    "_hours": ("time", "h"),
+    "_days": ("time", "d"),
+}
+
+#: Budget/energy API methods whose sole argument is a physical quantity.
+BUDGET_METHODS = frozenset({"debit", "credit", "can_afford", "replenish"})
+
+
+def unit_of(node: ast.expr) -> tuple[str, str, str] | None:
+    """(suffix, dimension, label) for a unit-suffixed Name/Attribute.
+
+    Anything that is not a bare identifier -- including arithmetic that
+    may embed a conversion constant -- is unit-unknown (``None``).
+    """
+    if isinstance(node, ast.Name):
+        identifier = node.id
+    elif isinstance(node, ast.Attribute):
+        identifier = node.attr
+    else:
+        return None
+    for suffix, (dimension, label) in UNIT_SUFFIXES.items():
+        if identifier.endswith(suffix):
+            return suffix, dimension, label
+    return None
+
+
+def _conflict_message(
+    left: tuple[str, str, str], right: tuple[str, str, str], context: str
+) -> str | None:
+    if left[0] == right[0]:
+        return None
+    if left[1] == right[1]:
+        return (
+            f"{context} mixes {left[1]} magnitudes {left[2]} and {right[2]} "
+            f"({left[0]} vs {right[0]}) without a conversion constant"
+        )
+    return (
+        f"{context} mixes incompatible dimensions {left[1]} ({left[2]}) and "
+        f"{right[1]} ({right[2]})"
+    )
+
+
+class UnitMixRule(Rule):
+    code = "RL101"
+    name = "unit-mix"
+    summary = "additive/comparison arithmetic across conflicting unit suffixes"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = unit_of(node.left), unit_of(node.right)
+                if left is None or right is None:
+                    continue
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                message = _conflict_message(left, right, f"'{op}'")
+                if message is not None:
+                    yield self.finding(module, node, message)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                units = [unit_of(operand) for operand in operands]
+                known = [unit for unit in units if unit is not None]
+                for i in range(len(known) - 1):
+                    message = _conflict_message(known[i], known[i + 1], "comparison")
+                    if message is not None:
+                        yield self.finding(module, node, message)
+                        break
+
+
+class BareLiteralBudgetRule(Rule):
+    code = "RL102"
+    name = "bare-literal"
+    summary = "bare numeric literal passed to a budget/energy API"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BUDGET_METHODS
+            ):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                value = argument
+                if isinstance(value, ast.UnaryOp) and isinstance(
+                    value.op, (ast.USub, ast.UAdd)
+                ):
+                    value = value.operand
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, (int, float))
+                    and not isinstance(value.value, bool)
+                    and value.value != 0
+                ):
+                    yield self.finding(
+                        module,
+                        argument,
+                        f"bare literal {ast.unparse(argument)} passed to "
+                        f".{node.func.attr}(); bind it to a unit-suffixed "
+                        "name (e.g. *_bytes, *_joules) so the unit is auditable",
+                    )

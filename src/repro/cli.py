@@ -9,6 +9,7 @@ Subcommands::
     richnote sweep           --trace trace.jsonl --budgets 1,5,20,100
     richnote figures         --trace trace.jsonl --out artifacts/
     richnote survey
+    richnote lint            src/repro --warn-only
 
 ``generate-trace`` synthesizes a labelled Spotify-like notification trace
 and writes it as JSONL; the other trace-consuming commands load any such
@@ -236,6 +237,18 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run richlint, the repo's domain-invariant analyzer.
+
+    Delegates to :mod:`repro.analysis.cli` so ``richnote lint``,
+    ``python -m repro.analysis`` and ``make analyze`` share one
+    implementation (flags, exit codes, baseline handling).
+    """
+    from repro.analysis.cli import main as richlint_main
+
+    return richlint_main(args.richlint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="richnote",
@@ -309,12 +322,29 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--respondents", type=int, default=80)
     survey.set_defaults(handler=cmd_survey)
 
+    lint = commands.add_parser(
+        "lint",
+        help="richlint: AST-based domain-invariant analysis "
+        "(unit safety, determinism, conservation)",
+        add_help=False,  # forward everything, including -h, to richlint
+    )
+    lint.add_argument("richlint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(handler=cmd_lint)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Forwarded verbatim: argparse.REMAINDER drops the ball when the
+        # first forwarded token is an option (bpo-17050), so `richnote
+        # lint --list-rules` must bypass the subparser machinery.
+        from repro.analysis.cli import main as richlint_main
+
+        return richlint_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     return args.handler(args)
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
 from repro.core.scheduler import Delivery, DroppedItem, RoundResult
@@ -167,6 +168,7 @@ class DeliveryEngine:
 
     # -- the delivery step ---------------------------------------------------
 
+    @conserves("bytes_debited == bytes_delivered + bytes_refunded + bytes_wasted")
     def deliver_batch(
         self,
         now: float,

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
     from repro.core.delivery import DeliveryEngine
 
+from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
 from repro.core.lyapunov import LyapunovConfig, LyapunovController, LyapunovState
@@ -246,6 +247,7 @@ class RoundBasedScheduler:
         result.energy_budget_after = self.energy_budget.available
         return result
 
+    @conserves("every debit is recorded as a delivery (atomic path: no refunds)")
     def _deliver(
         self,
         now: float,

@@ -63,8 +63,11 @@ def calibration_curve(y_true, probabilities, n_bins: int = 10) -> list[Calibrati
     y, p = _validate(y_true, probabilities)
     edges = np.linspace(0.0, 1.0, n_bins + 1)
     bins: list[CalibrationBin] = []
-    for lower, upper in zip(edges, edges[1:]):
-        if upper == 1.0:
+    for bin_index, (lower, upper) in enumerate(zip(edges, edges[1:])):
+        # The last bin is closed on the right so p == 1.0 lands somewhere;
+        # keyed on the index, not `upper == 1.0`, so float rounding in the
+        # edge grid can never drop the closing bin.
+        if bin_index == n_bins - 1:
             mask = (p >= lower) & (p <= upper)
         else:
             mask = (p >= lower) & (p < upper)

@@ -19,7 +19,7 @@ the algorithms downstream:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 GENRES = (
     "pop",

@@ -1,0 +1,17 @@
+"""Fixture: RL203 wallclock (lives under core/: the scoped zone)."""
+
+import time
+from datetime import date, datetime
+
+
+def stamps():
+    a = time.time()  # EXPECT[RL203]
+    b = time.time_ns()  # EXPECT[RL203]
+    c = datetime.now()  # EXPECT[RL203]
+    d = datetime.utcnow()  # EXPECT[RL203]
+    e = date.today()  # EXPECT[RL203]
+    return a, b, c, d, e
+
+
+def simulation_clock(now, round_seconds):
+    return now + round_seconds

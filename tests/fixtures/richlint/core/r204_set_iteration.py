@@ -1,0 +1,26 @@
+"""Fixture: RL204 set-iteration (lives under core/: the hot-path zone)."""
+
+
+def iterate_sets(items, tags: set[int]):
+    delivered = set()
+    for x in delivered:  # EXPECT[RL204]
+        print(x)
+    for y in {1, 2, 3}:  # EXPECT[RL204]
+        print(y)
+    for z in set(items):  # EXPECT[RL204]
+        print(z)
+    for t in tags:  # EXPECT[RL204]
+        print(t)
+    squares = [v * v for v in delivered]  # EXPECT[RL204]
+    return squares
+
+
+def iterate_safely(items):
+    delivered = set()
+    ordered = sorted(delivered)
+    for x in ordered:
+        print(x)
+    for y in sorted({1, 2, 3}):
+        print(y)
+    for z in items:
+        print(z)

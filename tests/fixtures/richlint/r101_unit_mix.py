@@ -1,0 +1,35 @@
+"""Fixture: RL101 unit-mix positives and negatives (never imported)."""
+
+MB = 1_000_000
+KB = 1024
+
+
+def mixed_addition(size_bytes, limit_kb, budget_mb, kappa_joules, cap_kj):
+    a = size_bytes + limit_kb  # EXPECT[RL101]
+    b = budget_mb - size_bytes  # EXPECT[RL101]
+    c = kappa_joules + cap_kj  # EXPECT[RL101]
+    d = size_bytes + kappa_joules  # EXPECT[RL101]
+    return a, b, c, d
+
+
+def mixed_comparison(size_bytes, limit_kb, ttl_seconds, age_hours):
+    if size_bytes > limit_kb:  # EXPECT[RL101]
+        return True
+    return ttl_seconds < age_hours  # EXPECT[RL101]
+
+
+def clean_same_unit(size_bytes, other_bytes, ttl_seconds, grace_seconds):
+    total = size_bytes + other_bytes
+    wait = ttl_seconds - grace_seconds
+    return total, wait
+
+
+def clean_with_conversion(budget_mb, size_bytes, limit_kb):
+    # Arithmetic through a conversion constant is unit-unknown: no flag.
+    total = budget_mb * MB + size_bytes
+    upper = limit_kb * KB - size_bytes
+    return total, upper
+
+
+def clean_unitless(count, total):
+    return count + total

@@ -1,0 +1,17 @@
+"""Fixture: RL102 bare-literal positives and negatives (never imported)."""
+
+PREVIEW_BYTES = 100_000.0
+
+
+def spend(budget):
+    budget.debit(500)  # EXPECT[RL102]
+    budget.credit(10.5)  # EXPECT[RL102]
+    budget.can_afford(1_000_000)  # EXPECT[RL102]
+    budget.replenish(3.5)  # EXPECT[RL102]
+
+
+def spend_named(budget, size_bytes):
+    budget.debit(size_bytes)
+    budget.debit(PREVIEW_BYTES)
+    budget.credit(0)  # zero is unit-free: exempt
+    budget.replenish(0.0)

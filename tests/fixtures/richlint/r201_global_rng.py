@@ -1,0 +1,23 @@
+"""Fixture: RL201 global-rng positives and negatives (never imported)."""
+
+import random
+
+import numpy as np
+from numpy.random import shuffle
+
+
+def global_state(items):
+    x = random.random()  # EXPECT[RL201]
+    random.seed(42)  # EXPECT[RL201]
+    random.shuffle(items)  # EXPECT[RL201]
+    y = np.random.rand(3)  # EXPECT[RL201]
+    np.random.shuffle(items)  # EXPECT[RL201]
+    shuffle(items)  # EXPECT[RL201]
+    z = random.SystemRandom()  # EXPECT[RL201]
+    return x, y, z
+
+
+def explicit_streams(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random(), gen.random()

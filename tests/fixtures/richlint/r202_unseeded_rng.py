@@ -1,0 +1,20 @@
+"""Fixture: RL202 unseeded-rng positives and negatives (never imported)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded():
+    a = random.Random()  # EXPECT[RL202]
+    b = np.random.default_rng()  # EXPECT[RL202]
+    c = default_rng()  # EXPECT[RL202]
+    return a, b, c
+
+
+def seeded(seed):
+    a = random.Random(seed)
+    b = np.random.default_rng(seed)
+    c = default_rng(seed=seed)
+    return a, b, c

@@ -1,0 +1,21 @@
+"""Fixture: RL301 float-eq positives and negatives (never imported)."""
+
+
+def exact_comparisons(utility, other_utility, share_joules, upper, count):
+    if utility == other_utility:  # EXPECT[RL301]
+        return 1
+    if share_joules != 0.25:  # EXPECT[RL301]
+        return 2
+    if upper == 1.0:  # EXPECT[RL301]
+        return 3
+    return count
+
+
+def exempt_comparisons(size_bytes, utility, count, name):
+    if size_bytes == 0:  # exact-zero sentinel: exempt
+        return 0
+    if utility != 0.0:  # exact-zero sentinel: exempt
+        return 1
+    if count == 3:  # int vs int: no float hint
+        return 2
+    return name == "richnote"

@@ -1,0 +1,24 @@
+"""Fixture: RL401 mutable-default positives and negatives (never imported)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BadDefaults:
+    items: list = []  # EXPECT[RL401]
+    table: dict = {}  # EXPECT[RL401]
+    seen: set = set()  # EXPECT[RL401]
+    pool: list = list()  # EXPECT[RL401]
+    wrapped: list = field(default=[])  # EXPECT[RL401]
+
+
+@dataclass
+class GoodDefaults:
+    items: list = field(default_factory=list)
+    table: dict = field(default_factory=dict)
+    count: int = 0
+    label: str = "x"
+
+
+class NotADataclass:
+    items: list = []  # plain class attribute: out of scope

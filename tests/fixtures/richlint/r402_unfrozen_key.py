@@ -1,0 +1,33 @@
+"""Fixture: RL402 unfrozen-key positives and negatives (never imported)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MutableKey:
+    user_id: int
+
+
+@dataclass(frozen=True)
+class FrozenKey:
+    user_id: int
+
+
+@dataclass(eq=False)
+class IdentityKey:
+    user_id: int
+
+
+def use_keys(cache):
+    cache[MutableKey(1)] = "a"  # EXPECT[RL402]
+    literal = {MutableKey(2): "b"}  # EXPECT[RL402]
+    member = MutableKey(3) in cache  # EXPECT[RL402]
+    bucket = {MutableKey(4)}  # EXPECT[RL402]
+    digest = hash(MutableKey(5))  # EXPECT[RL402]
+    return literal, member, bucket, digest
+
+
+def use_hashable_keys(cache):
+    cache[FrozenKey(1)] = "a"
+    cache[IdentityKey(2)] = "b"
+    return FrozenKey(3) in cache

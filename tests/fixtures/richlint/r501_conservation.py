@@ -1,0 +1,51 @@
+"""Fixture: RL501 early-return positives and negatives (never imported)."""
+
+from repro.analysis.markers import conserves
+
+
+@conserves("debited == delivered + refunded + wasted")
+def leaky(budget, size_bytes, ok):
+    drained = budget.debit(size_bytes)
+    if not ok:
+        return None  # EXPECT[RL501]
+    budget.credit(drained)
+    return drained
+
+
+@conserves
+def leaky_bare_marker(budget, size_bytes, ok):
+    drained = budget.debit(size_bytes)
+    if not ok:
+        return None  # EXPECT[RL501]
+    budget.credit(drained)
+    return drained
+
+
+def leaky_comment_marker(budget, size_bytes, ok):  # richlint: conserves
+    drained = budget.debit(size_bytes)
+    if not ok:
+        return None  # EXPECT[RL501]
+    budget.credit(drained)
+    return drained
+
+
+@conserves("guard clauses before the first debit are fine")
+def sound(budget, size_bytes, ok):
+    if not ok:
+        return None  # before any debit: exempt
+    drained = budget.debit(size_bytes)
+    budget.credit(drained)
+    return drained
+
+
+@conserves("no refund path: only the terminal return is allowed")
+def sound_terminal_only(budget, size_bytes):
+    drained = budget.debit(size_bytes)
+    return drained
+
+
+def unmarked(budget, size_bytes, ok):
+    budget.debit(size_bytes)
+    if not ok:
+        return None  # not marked @conserves: out of scope
+    return True

@@ -1,0 +1,14 @@
+"""Fixture: inline suppression handling (never imported)."""
+
+import random
+
+
+def suppressed_calls(items):
+    a = random.random()  # richlint: ignore[RL201] -- fixture: documented exception
+    # richlint: ignore[RL201] -- comment-above style also covers the next line
+    random.shuffle(items)
+    b = random.Random()  # richlint: ignore -- bare ignore suppresses every rule
+    c = random.Random()  # richlint: ignore[R2] -- family selector
+    d = random.Random()  # richlint: ignore[unseeded-rng] -- rule-name selector
+    e = random.Random()  # richlint: ignore[RL101] -- wrong code: NOT suppressed  # EXPECT[RL202]
+    return a, b, c, d, e

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.survey.bootstrap import (
-    BootstrapFit,
     bootstrap_duration_fit,
     synthesize_heterogeneous_duration_survey,
 )

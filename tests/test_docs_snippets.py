@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_five_walkthroughs(self):
-        assert len(python_blocks()) == 5
+    def test_has_six_walkthroughs(self):
+        assert len(python_blocks()) == 6
 
     @pytest.mark.parametrize(
         "index,block",

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.baselines import FifoScheduler, UtilScheduler
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem, ContentKind
 from repro.core.lyapunov import LyapunovConfig
