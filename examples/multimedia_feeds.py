@@ -26,7 +26,8 @@ from repro.core.media import (
 )
 from repro.core.multifeed import FeedCadences, MultiFeedScheduler
 from repro.core.presentations import build_audio_ladder
-from repro.core.scheduler import RichNoteScheduler
+from repro.runtime import RoundLoop
+from repro.runtime import registry as policy_registry
 from repro.sim.battery import BatterySample, BatteryTrace
 from repro.sim.device import MobileDevice
 from repro.sim.network import CellularOnlyNetwork
@@ -56,10 +57,13 @@ def main() -> None:
         network=CellularOnlyNetwork(),
         battery=BatteryTrace([BatterySample(0.0, 0.9, charging=False)]),
     )
-    inner = RichNoteScheduler(
+    # "richnote" resolves through the policy registry; the policy reads
+    # kappa from the loop's energy budget when no explicit config is given.
+    inner = RoundLoop(
         device=device,
         data_budget=DataBudget(theta_bytes=60_000.0),  # 60 KB / 5 min
         energy_budget=EnergyBudget(kappa_joules=250.0),
+        policy=policy_registry.create("richnote"),
     )
     cadences = FeedCadences(
         base_period=BASE,

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Driving the core API directly: broker -> scheduler, no harness.
+"""Driving the core API directly: broker -> round loop, no harness.
 
 Shows the pieces a downstream integrator would wire together:
 
 * a topic-based broker with per-kind delivery modes (friend feeds in
   real time, album releases round-based -- Section II's hybrid engine);
-* hand-built content items with the audio presentation ladder;
-* one user's RichNoteScheduler stepped round by round, watching it adapt
-  the presentation level as the data budget tightens and recovers.
+* a :class:`SchedulerFleetSink` that turns released notifications into
+  content items and routes them to per-user round loops, with the
+  selection rule resolved *by name* from the policy registry;
+* one user's loop stepped round by round, watching it adapt the
+  presentation level as the data budget tightens and recovers.
 
 Usage:  python examples/pubsub_broker.py
 """
@@ -16,16 +18,20 @@ from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem, ContentKind
 from repro.core.lyapunov import LyapunovConfig
 from repro.core.presentations import build_audio_ladder
-from repro.core.scheduler import RichNoteScheduler
-from repro.pubsub.broker import Broker, DeliveryMode
+from repro.pubsub.broker import Broker, DeliveryMode, SchedulerFleetSink
 from repro.pubsub.subscriptions import SubscriptionStore
 from repro.pubsub.topics import Publication, Topic, TopicKind
+from repro.runtime import RoundLoop
 from repro.sim.battery import BatterySample, BatteryTrace
 from repro.sim.device import MobileDevice
 from repro.sim.network import CellularOnlyNetwork
 
 ALICE, BOB, CAROL = 1, 2, 3
 ROUND = 3600.0
+
+# Content utility would come from the classifier; here we hand-assign.
+INTEREST = {100: 0.9, 200: 0.6, 300: 0.3, 301: 0.15}
+LADDER = build_audio_ladder()
 
 
 def build_broker() -> tuple[Broker, list]:
@@ -44,8 +50,45 @@ def build_broker() -> tuple[Broker, list]:
     return broker, inbox
 
 
+def notification_to_item(notification) -> ContentItem:
+    track = notification.publication.payload["track_id"]
+    return ContentItem(
+        item_id=notification.notification_id,
+        user_id=notification.recipient_id,
+        kind=ContentKind.FRIEND_FEED,
+        created_at=notification.timestamp,
+        ladder=LADDER,
+        content_utility=INTEREST[track],
+        metadata={"track_id": track},
+    )
+
+
+def bare_loop(user_id: int) -> RoundLoop:
+    """Device + budgets for one user; the sink binds the policy."""
+    device = MobileDevice(
+        user_id=user_id,
+        network=CellularOnlyNetwork(),
+        battery=BatteryTrace([BatterySample(0.0, 0.9, charging=False)]),
+    )
+    return RoundLoop(
+        device=device,
+        data_budget=DataBudget(theta_bytes=150_000.0),  # ~150 KB per round
+        energy_budget=EnergyBudget(kappa_joules=3000.0),
+    )
+
+
 def main() -> None:
     broker, inbox = build_broker()
+
+    # Per-user round loops behind the broker; "richnote" is a registry
+    # key, so swapping the whole fleet to another policy is one string.
+    fleet = SchedulerFleetSink.with_policy(
+        notification_to_item,
+        bare_loop,
+        policy="richnote",
+        lyapunov=LyapunovConfig(v=1000.0, kappa_joules=3000.0),
+    )
+    broker.add_sink(fleet)
 
     print("Publishing: Bob streams a track (realtime), artist 7 drops an")
     print("album (round-based), Carol streams two tracks (realtime)...\n")
@@ -63,39 +106,10 @@ def main() -> None:
     broker.flush()
     print(f"  after round flush: {len(inbox)} notifications total\n")
 
-    # -- feed Alice's notifications into her RichNote scheduler -------------
-    ladder = build_audio_ladder()
-    device = MobileDevice(
-        user_id=ALICE,
-        network=CellularOnlyNetwork(),
-        battery=BatteryTrace([BatterySample(0.0, 0.9, charging=False)]),
-    )
-    scheduler = RichNoteScheduler(
-        device=device,
-        data_budget=DataBudget(theta_bytes=150_000.0),  # ~150 KB per round
-        energy_budget=EnergyBudget(kappa_joules=3000.0),
-        lyapunov=LyapunovConfig(v=1000.0, kappa_joules=3000.0),
-    )
-
-    # Content utility would come from the classifier; here we hand-assign.
-    interest = {100: 0.9, 200: 0.6, 300: 0.3, 301: 0.15}
-    for notification in inbox:
-        track = notification.publication.payload["track_id"]
-        scheduler.enqueue(
-            ContentItem(
-                item_id=notification.notification_id,
-                user_id=ALICE,
-                kind=ContentKind.FRIEND_FEED,
-                created_at=notification.timestamp,
-                ladder=ladder,
-                content_utility=interest[track],
-                metadata={"track_id": track},
-            )
-        )
-
     print("Round-by-round delivery under a 150 KB/round budget:")
     for round_index in range(1, 4):
-        result = scheduler.run_round(round_index * ROUND, ROUND)
+        results = fleet.run_round(round_index * ROUND, ROUND)
+        result = results[ALICE]
         deliveries = ", ".join(
             f"item{d.item.item_id}@L{d.level}({d.size_bytes / 1000:.1f}KB)"
             for d in result.deliveries

@@ -147,6 +147,7 @@ def default_rules() -> list[Rule]:
         WallClockRule,
     )
     from repro.analysis.floats import FloatEqualityRule
+    from repro.analysis.layering import LayeringRule
     from repro.analysis.units import BareLiteralBudgetRule, UnitMixRule
 
     return [
@@ -160,6 +161,7 @@ def default_rules() -> list[Rule]:
         MutableDefaultRule(),
         UnfrozenKeyRule(),
         ConservationEarlyReturnRule(),
+        LayeringRule(),
     ]
 
 

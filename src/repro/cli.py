@@ -23,7 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.config import ExperimentConfig, MethodSpec
 from repro.experiments.figures import figure3_and_4, paper_method_specs
 from repro.experiments.reporting import render_series_table
 from repro.experiments.runner import UtilityAnnotations, run_experiment
@@ -76,22 +76,11 @@ def _parse_faults(text: str):
 
 
 def _parse_method(text: str) -> MethodSpec:
-    """``richnote`` | ``fifo:3`` | ``util:2``."""
-    name, _, level = text.partition(":")
-    name = name.lower()
-    if name == "richnote":
-        if level:
-            raise argparse.ArgumentTypeError("richnote does not take a level")
-        return MethodSpec(Method.RICHNOTE)
+    """``richnote`` | ``fifo:3`` | ``util:2`` (see :meth:`MethodSpec.parse`)."""
     try:
-        method = Method(name)
+        return MethodSpec.parse(text)
     except ValueError as error:
-        raise argparse.ArgumentTypeError(
-            f"unknown method {name!r}; choose richnote, fifo:<L>, util:<L>"
-        ) from error
-    if not level:
-        raise argparse.ArgumentTypeError(f"{name} needs a level, e.g. {name}:3")
-    return MethodSpec(method, fixed_level=int(level))
+        raise argparse.ArgumentTypeError(str(error)) from error
 
 
 def _load_workload(path: str) -> Workload:

@@ -1,4 +1,4 @@
-"""Baseline schedulers: FIFO and UTIL at a fixed presentation level.
+"""Deprecated home of the FIFO/UTIL baselines (moved to ``repro.runtime``).
 
 Section V-C: "we use two baselines: (1) FIFO that delivers notifications in
 the order of their delivery timestamps in the trace, and (2) UTIL that
@@ -7,28 +7,38 @@ baseline approaches we need to fix the presentation level to mimic
 state-of-the-art techniques."  (Spotify uses FIFO in real-time mode and a
 UTIL-like strategy in batch mode.)
 
-Both baselines reuse the round machinery of
-:class:`repro.core.scheduler.RoundBasedScheduler`: budgets replenish and
-roll over identically; the only difference is the selection rule --
-greedily take items in policy order, always at the fixed level, while the
-remaining round budget affords them.  An item whose fixed presentation does
-not fit is *skipped for this round but stays queued* (head-of-line items
-larger than the leftover budget simply wait for rollover, which is what a
-fixed-level pipeline does in practice).
+The ordering/fill logic now lives in :class:`repro.runtime.policy.FifoPolicy`
+and :class:`repro.runtime.policy.UtilPolicy`, registered as ``fifo`` and
+``util``; new code binds them to a :class:`repro.runtime.loop.RoundLoop`::
+
+    from repro.runtime import RoundLoop, registry
+
+    loop = RoundLoop(device, data_budget, energy_budget)
+    loop.bind_policy(registry.create("fifo", fixed_level=2))
+
+This module keeps the legacy classes importable.
+:class:`FixedLevelScheduler` remains the supported extension seam for
+custom orderings (override :meth:`FixedLevelScheduler._ordered_queue`)
+and does not warn; the concrete :class:`FifoScheduler` /
+:class:`UtilScheduler` emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
 from repro.core.scheduler import RoundBasedScheduler
 from repro.core.utility import CombinedUtilityModel
+from repro.runtime.policy import FifoPolicy, FixedLevelPolicy, UtilPolicy
 from repro.sim.device import MobileDevice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.delivery import DeliveryEngine
+
+__all__ = ["FifoScheduler", "FixedLevelScheduler", "UtilScheduler"]
 
 
 class FixedLevelScheduler(RoundBasedScheduler):
@@ -38,7 +48,13 @@ class FixedLevelScheduler(RoundBasedScheduler):
     as RichNote: failed transfers are refunded, retried with backoff
     (possibly degraded below ``fixed_level``) and eventually dead-lettered,
     so a fault schedule stresses every policy identically.
+
+    Subclasses define :meth:`_ordered_queue`; level clamping and greedy
+    fill delegate to the bound :class:`~repro.runtime.policy.FixedLevelPolicy`.
     """
+
+    #: Which policy class backs instances; concrete baselines override.
+    _policy_cls: type[FixedLevelPolicy] = FixedLevelPolicy
 
     def __init__(
         self,
@@ -54,46 +70,62 @@ class FixedLevelScheduler(RoundBasedScheduler):
             device, data_budget, energy_budget, utility_model, ttl_seconds,
             delivery_engine,
         )
-        if fixed_level < 1:
-            raise ValueError("fixed level must be >= 1 (level 0 sends nothing)")
-        self.fixed_level = fixed_level
+        self.bind_policy(self._policy_cls(fixed_level))
+
+    @property
+    def fixed_level(self) -> int:
+        return self.policy.fixed_level
 
     def _ordered_queue(self, now: float) -> list[ContentItem]:
         raise NotImplementedError
 
     def _level_for(self, item: ContentItem) -> int:
         """Clamp the fixed level to the item's ladder."""
-        return min(self.fixed_level, item.ladder.max_level)
+        return self.policy.level_for(item)
 
     def _select(
         self, now: float, effective_budget: int
     ) -> list[tuple[ContentItem, int]]:
-        remaining = effective_budget
-        chosen: list[tuple[ContentItem, int]] = []
-        for item in self._ordered_queue(now):
-            level = self._level_for(item)
-            size = item.ladder.size(level)
-            if size <= remaining:
-                chosen.append((item, level))
-                remaining -= size
-        return chosen
+        return self.policy.fill(self._ordered_queue(now), effective_budget)
 
 
 class FifoScheduler(FixedLevelScheduler):
-    """FIFO: oldest arrival first, fixed presentation level."""
+    """Deprecated: FIFO baseline; bind the ``fifo`` policy instead."""
+
+    _policy_cls = FifoPolicy
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.core.baselines.FifoScheduler is deprecated; build a "
+            "repro.runtime.RoundLoop and bind the 'fifo' policy via "
+            "repro.runtime.registry.create('fifo', fixed_level=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
     def _ordered_queue(self, now: float) -> list[ContentItem]:
-        return sorted(self._selectable(now), key=lambda item: item.created_at)
+        return self.policy.order_items(
+            self._selectable(now), now, self.utility_model
+        )
 
 
 class UtilScheduler(FixedLevelScheduler):
-    """UTIL: highest combined utility first, fixed presentation level."""
+    """Deprecated: UTIL baseline; bind the ``util`` policy instead."""
+
+    _policy_cls = UtilPolicy
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.core.baselines.UtilScheduler is deprecated; build a "
+            "repro.runtime.RoundLoop and bind the 'util' policy via "
+            "repro.runtime.registry.create('util', fixed_level=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
     def _ordered_queue(self, now: float) -> list[ContentItem]:
-        return sorted(
-            self._selectable(now),
-            key=lambda item: self.utility_model.utility(
-                item, self._level_for(item), now
-            ),
-            reverse=True,
+        return self.policy.order_items(
+            self._selectable(now), now, self.utility_model
         )

@@ -32,7 +32,7 @@ class ContentKind(str, Enum):
     PLAYLIST_UPDATE = "playlist_update"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Presentation:
     """One concrete presentation of a content item.
 
@@ -80,6 +80,8 @@ class PresentationLadder:
     produce concave utility sequences, and :meth:`is_concave` lets callers
     check.
     """
+
+    __slots__ = ("_levels",)
 
     def __init__(self, presentations: Sequence[Presentation]):
         ladder = sorted(presentations, key=lambda p: p.level)
@@ -162,7 +164,7 @@ class PresentationLadder:
         return f"PresentationLadder({inner})"
 
 
-@dataclass
+@dataclass(slots=True)
 class ContentItem:
     """A single notifiable content item flowing through the system.
 

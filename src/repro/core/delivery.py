@@ -1,6 +1,6 @@
 """Fault-tolerant delivery engine: retries, refunds, dead letters.
 
-The round loop of :class:`repro.core.scheduler.RoundBasedScheduler` treats
+The round loop of :class:`repro.runtime.loop.RoundLoop` treats
 delivery as atomic: a selected presentation is debited and recorded in one
 step.  This module inserts a failure surface between selection and
 delivery.  Each attempt is judged by a :class:`repro.sim.faults.FaultPolicy`;
@@ -17,7 +17,7 @@ on failure the engine
   (capped one level below the last failed attempt) so the retry is cheaper
   and likelier to fit the remaining round budget;
 * **dead-letters** the item (a structured
-  :class:`~repro.core.scheduler.DroppedItem`) once attempts are exhausted
+  :class:`~repro.runtime.types.DroppedItem`) once attempts are exhausted
   or a retry could not land before the item's TTL.
 
 Byte conservation invariant (checked by the chaos suite): over any run,
@@ -39,13 +39,13 @@ from dataclasses import dataclass, field
 from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.content import ContentItem
-from repro.core.scheduler import Delivery, DroppedItem, RoundResult
+from repro.runtime.types import Delivery, DroppedItem, RoundResult
 from repro.core.utility import CombinedUtilityModel
 from repro.sim.device import MobileDevice
 from repro.sim.faults import FaultPolicy, TransferContext
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetryPolicy:
     """Bounded retry with exponential backoff and full jitter.
 
@@ -106,7 +106,7 @@ class DeliveryStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _RetryState:
     """Engine-private per-item retry bookkeeping."""
 

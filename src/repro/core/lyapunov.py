@@ -38,7 +38,7 @@ DEFAULT_SIZE_SCALE = 1e-6
 DEFAULT_ENERGY_SCALE = 1e-3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LyapunovConfig:
     """Control parameters of the drift-plus-penalty scheduler.
 
@@ -68,7 +68,7 @@ class LyapunovConfig:
             raise ValueError("scales must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LyapunovState:
     """A snapshot of the queue state entering a round.
 

@@ -29,8 +29,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.runtime import kernels
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class MckpItem:
     """One category: an item with its per-level sizes and profits.
 
@@ -61,7 +63,7 @@ class MckpItem:
         return len(self.sizes) - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MckpInstance:
     """An MCKP instance: a set of items and a weight budget in bytes."""
 
@@ -76,7 +78,7 @@ class MckpInstance:
             raise ValueError("item keys must be unique")
 
 
-@dataclass
+@dataclass(slots=True)
 class MckpSolution:
     """Result of a selection: chosen level per item key.
 
@@ -98,9 +100,7 @@ def _gradient(item: MckpItem, level: int) -> float:
 
     The denominator is positive by the strict-size-increase invariant.
     """
-    dsize = item.sizes[level + 1] - item.sizes[level]
-    dprofit = item.profits[level + 1] - item.profits[level]
-    return dprofit / dsize
+    return kernels.gradient(item.sizes, item.profits, level)
 
 
 def select_presentations(instance: MckpInstance) -> MckpSolution:
@@ -131,43 +131,23 @@ def select_presentations(instance: MckpInstance) -> MckpSolution:
     Complexity: ``O(n)`` heapify + ``O((n k) log n)`` worst case over all
     upgrades, matching the paper's ``O(n + k log n)`` per-round bound when
     the number of performed upgrades is ``O(k)``.
+
+    The heap loop itself lives in
+    :func:`repro.runtime.kernels.greedy_select`; this wrapper adapts the
+    object-based :class:`MckpInstance` to the kernel's row arrays.
     """
-    solution = MckpSolution()
-    by_key: dict[int, MckpItem] = {}
-    heap: list[tuple[float, int, int]] = []  # (-gradient, key, current level)
-    for item in instance.items:
-        solution.levels[item.key] = 0
-        by_key[item.key] = item
-        if item.max_level > 0:
-            heap.append((-_gradient(item, 0), item.key, 0))
-    heapq.heapify(heap)
-
-    total_size = 0
-    total_profit = 0.0
-    while heap:
-        neg_grad, key, level = heapq.heappop(heap)
-        if solution.levels[key] != level:
-            # Stale entry from before a previous upgrade of this item.
-            continue
-        if -neg_grad <= 0.0:
-            # Monotone-gradient ladders: no later upgrade of any item can
-            # beat this one, so the remaining heap is all non-improving.
-            break
-        item = by_key[key]
-        size_gain = item.sizes[level + 1] - item.sizes[level]
-        if total_size + size_gain > instance.budget:
-            # Freeze this item; cheaper upgrades of other items may still fit.
-            continue
-        next_level = level + 1
-        solution.levels[key] = next_level
-        total_size += size_gain
-        total_profit += item.profits[next_level] - item.profits[level]
-        if next_level < item.max_level:
-            heapq.heappush(heap, (-_gradient(item, next_level), key, next_level))
-
-    solution.total_size = total_size
-    solution.total_profit = total_profit
-    return solution
+    keys = [item.key for item in instance.items]
+    levels, total_size, total_profit = kernels.greedy_select(
+        keys,
+        [item.sizes for item in instance.items],
+        [item.profits for item in instance.items],
+        instance.budget,
+    )
+    return MckpSolution(
+        levels=dict(zip(keys, levels)),
+        total_size=total_size,
+        total_profit=total_profit,
+    )
 
 
 def fractional_upper_bound(instance: MckpInstance) -> float:
@@ -264,32 +244,7 @@ def convex_hull_levels(item: MckpItem) -> list[int]:
     one-upgrade optimality bound for ARBITRARY profit profiles -- e.g. the
     Lyapunov-adjusted profits of Eq. 7, which need not be monotone.
     """
-    # Dominance pass: sizes strictly increase by construction, so a level
-    # is dominated iff its profit does not exceed the best profit so far.
-    kept: list[int] = [0]
-    best_profit = item.profits[0]
-    for level in range(1, len(item.sizes)):
-        if item.profits[level] > best_profit:
-            kept.append(level)
-            best_profit = item.profits[level]
-
-    # Convex hull pass over the kept levels (Graham-scan style).
-    hull: list[int] = []
-    for level in kept:
-        while len(hull) >= 2:
-            a, b = hull[-2], hull[-1]
-            gradient_ab = (item.profits[b] - item.profits[a]) / (
-                item.sizes[b] - item.sizes[a]
-            )
-            gradient_ac = (item.profits[level] - item.profits[a]) / (
-                item.sizes[level] - item.sizes[a]
-            )
-            if gradient_ac >= gradient_ab:
-                hull.pop()
-            else:
-                break
-        hull.append(level)
-    return hull
+    return kernels.hull_levels(item.sizes, item.profits)
 
 
 def select_presentations_general(instance: MckpInstance) -> MckpSolution:
@@ -300,24 +255,18 @@ def select_presentations_general(instance: MckpInstance) -> MckpSolution:
     chosen levels back to the original level indices.  For ladders that
     are already gradient-monotone this selects exactly what
     :func:`select_presentations` does, at the cost of an ``O(n k)``
-    preprocessing pass.
+    preprocessing pass.  Hull reduction, greedy and level back-mapping all
+    live in :func:`repro.runtime.kernels.greedy_select_hull`.
     """
-    reduced_items: list[MckpItem] = []
-    back_map: dict[int, list[int]] = {}
-    for item in instance.items:
-        hull = convex_hull_levels(item)
-        back_map[item.key] = hull
-        reduced_items.append(
-            MckpItem(
-                key=item.key,
-                sizes=tuple(item.sizes[level] for level in hull),
-                profits=tuple(item.profits[level] for level in hull),
-            )
-        )
-    reduced = MckpInstance(items=tuple(reduced_items), budget=instance.budget)
-    solution = select_presentations(reduced)
-    solution.levels = {
-        key: back_map[key][reduced_level]
-        for key, reduced_level in solution.levels.items()
-    }
-    return solution
+    keys = [item.key for item in instance.items]
+    levels, total_size, total_profit = kernels.greedy_select_hull(
+        keys,
+        [item.sizes for item in instance.items],
+        [item.profits for item in instance.items],
+        instance.budget,
+    )
+    return MckpSolution(
+        levels=dict(zip(keys, levels)),
+        total_size=total_size,
+        total_profit=total_profit,
+    )

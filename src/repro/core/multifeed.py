@@ -22,7 +22,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.content import ContentItem, ContentKind
-from repro.core.scheduler import RoundBasedScheduler, RoundResult
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import RoundResult
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,7 @@ class MultiFeedScheduler:
 
     def __init__(
         self,
-        scheduler: RoundBasedScheduler,
+        scheduler: RoundLoop,
         cadences: FeedCadences | None = None,
     ) -> None:
         self.scheduler = scheduler

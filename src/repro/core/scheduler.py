@@ -1,322 +1,72 @@
-"""Round-based notification schedulers (Algorithm 2 and shared machinery).
+"""Deprecated home of the round-based schedulers (moved to ``repro.runtime``).
 
-Per Section IV, the broker runs one scheduler instance per user.  Each round:
+The scheduling runtime now lives in three layers under
+:mod:`repro.runtime` -- array kernels (:mod:`repro.runtime.kernels`),
+pluggable policies (:mod:`repro.runtime.policy`, resolvable by name via
+:mod:`repro.runtime.registry`) and the composable round loop
+(:mod:`repro.runtime.loop`).  New code should build a
+:class:`~repro.runtime.loop.RoundLoop` and bind a registered policy::
 
-1. items that arrived since the previous round move from the *incoming*
-   queue to the *scheduling* queue (their presentation ladders and content
-   utilities were assigned on ingest);
-2. budgets are replenished -- ``B(t) += theta`` and ``P(t) += e(t)`` while
-   ``P(t) <= kappa`` (the device's battery state determines ``e(t)``);
-3. a subset of scheduling-queue items is selected, each at a presentation
-   level, and moved to the *delivery* queue sorted by descending utility;
-4. the delivery queue drains to the device while connectivity and the data
-   budget allow; delivered items are debited from both budgets and all of
-   their presentations leave the scheduling queue.
+    from repro.runtime import RoundLoop, registry
 
-:class:`RichNoteScheduler` performs step 3 with the Lyapunov-adjusted MCKP
-(Eq. 7 + Algorithm 1).  The FIFO/UTIL baselines in
-:mod:`repro.core.baselines` reuse the same round machinery with fixed
-presentation levels.
+    loop = RoundLoop(device, data_budget, energy_budget, utility_model)
+    loop.bind_policy(registry.create("richnote", lyapunov=config))
+
+This module keeps the pre-runtime import surface working:
+
+* :class:`Delivery`, :class:`DroppedItem` and :class:`RoundResult`
+  re-export from :mod:`repro.runtime.types` (same classes, not copies);
+* :class:`RoundBasedScheduler` is an alias base over ``RoundLoop`` --
+  the supported extension seam for subclasses that override ``_select``
+  directly, so it does **not** warn;
+* :class:`RichNoteScheduler` still constructs the paper's scheduler but
+  emits a :class:`DeprecationWarning` and delegates everything to a
+  bound :class:`~repro.runtime.policy.RichNotePolicy`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+import warnings
+from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
+if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.delivery import DeliveryEngine
 
-from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
-from repro.core.content import ContentItem
-from repro.core.lyapunov import LyapunovConfig, LyapunovController, LyapunovState
-from repro.core.mckp import (
-    MckpInstance,
-    MckpItem,
-    select_presentations,
-    select_presentations_general,
-)
+from repro.core.lyapunov import LyapunovConfig, LyapunovController
 from repro.core.utility import CombinedUtilityModel
+from repro.runtime.loop import RoundLoop
+from repro.runtime.policy import RichNotePolicy
+from repro.runtime.types import Delivery, DroppedItem, RoundResult
 from repro.sim.device import MobileDevice
 
-
-@dataclass(frozen=True)
-class Delivery:
-    """One presentation delivered to the device."""
-
-    time: float
-    user_id: int
-    item: ContentItem
-    level: int
-    size_bytes: int
-    energy_joules: float
-    utility: float
+__all__ = [
+    "Delivery",
+    "DroppedItem",
+    "RichNoteScheduler",
+    "RoundBasedScheduler",
+    "RoundResult",
+]
 
 
-@dataclass(frozen=True)
-class DroppedItem:
-    """An item evicted from the scheduling queue without delivery.
+class RoundBasedScheduler(RoundLoop):
+    """Legacy name for :class:`repro.runtime.loop.RoundLoop`.
 
-    ``reason`` is structured as ``"<cause>"`` or ``"<cause>:<fault_kind>"``,
-    e.g. ``"ttl_expired"``, ``"delivery_failed:timeout"``,
-    ``"retry_would_expire:disconnect"``.  ``attempts`` counts delivery
-    attempts made before the item was dead-lettered (0 when it never
-    reached the delivery path).
+    Kept as a distinct class (not a bare assignment) so subclasses that
+    predate the runtime package -- overriding :meth:`_select` and reading
+    ``self._scheduling`` -- keep a stable MRO and ``__name__``.  This is
+    a supported extension seam and intentionally does not warn.
     """
-
-    time: float
-    item: ContentItem
-    reason: str
-    attempts: int = 0
-
-
-@dataclass
-class RoundResult:
-    """Outcome of one scheduling round for one user."""
-
-    round_index: int
-    time: float
-    deliveries: list[Delivery] = field(default_factory=list)
-    dropped: list[DroppedItem] = field(default_factory=list)
-    queue_length_after: int = 0
-    backlog_bytes_after: float = 0.0
-    data_budget_after: float = 0.0
-    energy_budget_after: float = 0.0
-    connected: bool = True
-    # Failure accounting, populated by the fault-tolerant delivery engine
-    # (:class:`repro.core.delivery.DeliveryEngine`); all zero on the atomic
-    # fast path.
-    attempts: int = 0
-    failed_attempts: int = 0
-    retries_scheduled: int = 0
-    dead_letters: int = 0
-    debited_bytes: float = 0.0
-    refunded_bytes: float = 0.0
-    wasted_bytes: float = 0.0
-    fault_counts: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def delivered_bytes(self) -> float:
-        return float(sum(d.size_bytes for d in self.deliveries))
-
-    @property
-    def delivered_utility(self) -> float:
-        return sum(d.utility for d in self.deliveries)
-
-    @property
-    def delivered_energy(self) -> float:
-        return sum(d.energy_joules for d in self.deliveries)
-
-
-class RoundBasedScheduler:
-    """Shared queue/budget/delivery machinery for all scheduling policies.
-
-    Subclasses implement :meth:`_select`, returning the (item, level) pairs
-    to move to the delivery queue for the round.
-    """
-
-    def __init__(
-        self,
-        device: MobileDevice,
-        data_budget: DataBudget,
-        energy_budget: EnergyBudget,
-        utility_model: CombinedUtilityModel | None = None,
-        ttl_seconds: float | None = None,
-        delivery_engine: "DeliveryEngine | None" = None,
-    ) -> None:
-        if ttl_seconds is not None and ttl_seconds <= 0:
-            raise ValueError("ttl must be positive when set")
-        self.device = device
-        self.data_budget = data_budget
-        self.energy_budget = energy_budget
-        self.utility_model = utility_model or CombinedUtilityModel()
-        #: Optional fault-tolerant delivery path
-        #: (:class:`repro.core.delivery.DeliveryEngine`).  ``None`` keeps
-        #: the paper's atomic delivery semantics.
-        self.delivery_engine = delivery_engine
-        #: Optional notification expiry: items older than this are evicted
-        #: at the start of a round instead of being delivered stale.  The
-        #: paper keeps items queued indefinitely (None, the default); real
-        #: deployments expire friend-feed notifications.
-        self.ttl_seconds = ttl_seconds
-        self._incoming: list[ContentItem] = []
-        self._scheduling: list[ContentItem] = []
-        self._round_index = 0
-        self.total_dropped = 0
-
-    # -- queue management ---------------------------------------------------
-
-    def enqueue(self, item: ContentItem) -> None:
-        """Add a newly arrived item to the incoming queue."""
-        if item.user_id != self.device.user_id:
-            raise ValueError(
-                f"item for user {item.user_id} routed to scheduler of "
-                f"user {self.device.user_id}"
-            )
-        self._incoming.append(item)
-
-    @property
-    def pending_items(self) -> int:
-        """Items awaiting delivery across incoming + scheduling queues."""
-        return len(self._incoming) + len(self._scheduling)
-
-    def backlog_bytes(self) -> float:
-        """``Q(t)``: total byte backlog of the scheduling queue.
-
-        Per Eq. 4 an item contributes the sum of all its presentation
-        sizes, since delivery drops every presentation of the item.
-        """
-        return float(sum(item.ladder.total_size() for item in self._scheduling))
-
-    def scheduling_queue(self) -> Sequence[ContentItem]:
-        return tuple(self._scheduling)
-
-    def _selectable(self, now: float) -> list[ContentItem]:
-        """Scheduling-queue items eligible for selection this round.
-
-        Items in retry backoff (fault-tolerant delivery) are held back but
-        still count toward ``Q(t)``/backlog -- they are queued work.
-        """
-        if self.delivery_engine is None:
-            return self._scheduling
-        return [
-            item
-            for item in self._scheduling
-            if self.delivery_engine.eligible(item, now)
-        ]
-
-    # -- policy hook ---------------------------------------------------------
-
-    def _select(
-        self, now: float, effective_budget: int
-    ) -> list[tuple[ContentItem, int]]:
-        """Choose (item, level > 0) pairs within ``effective_budget`` bytes."""
-        raise NotImplementedError
-
-    # -- the round loop (Algorithm 2) -----------------------------------------
-
-    def run_round(self, now: float, round_seconds: float) -> RoundResult:
-        """Execute one round at time ``now``; returns what was delivered."""
-        self._round_index += 1
-        result = RoundResult(round_index=self._round_index, time=now)
-
-        # Incoming items become schedulable this round.
-        if self._incoming:
-            self._scheduling.extend(self._incoming)
-            self._incoming = []
-
-        # Expire stale items before selection (when a TTL is configured).
-        if self.ttl_seconds is not None:
-            fresh: list[ContentItem] = []
-            for item in self._scheduling:
-                if now - item.created_at > self.ttl_seconds:
-                    result.dropped.append(
-                        DroppedItem(time=now, item=item, reason="ttl_expired")
-                    )
-                    self.total_dropped += 1
-                else:
-                    fresh.append(item)
-            self._scheduling = fresh
-
-        # Step 2: budget replenishment.
-        self.data_budget.replenish()
-        e_t = self.device.replenishment(now, self.energy_budget.kappa_joules)
-        self.energy_budget.replenish(e_t)
-
-        # Connectivity for this round.
-        self.device.begin_round(now, round_seconds)
-        result.connected = self.device.connected
-        if self.device.connected and self._selectable(now):
-            capacity = self.device.round_capacity_bytes(round_seconds)
-            effective_budget = int(min(self.data_budget.available, capacity))
-            selected = self._select(now, effective_budget)
-            if self.delivery_engine is not None:
-                # Previously failed items may be capped at a degraded level.
-                selected = self.delivery_engine.apply_level_caps(selected)
-            # Delivery queue drains in descending utility order (Alg. 2, step 1).
-            selected.sort(
-                key=lambda pair: self.utility_model.utility(pair[0], pair[1], now),
-                reverse=True,
-            )
-            self._deliver(now, selected, result)
-
-        result.queue_length_after = len(self._scheduling)
-        result.backlog_bytes_after = self.backlog_bytes()
-        result.data_budget_after = self.data_budget.available
-        result.energy_budget_after = self.energy_budget.available
-        return result
-
-    @conserves("every debit is recorded as a delivery (atomic path: no refunds)")
-    def _deliver(
-        self,
-        now: float,
-        selected: list[tuple[ContentItem, int]],
-        result: RoundResult,
-    ) -> None:
-        """Drain the delivery queue: debit budgets, record deliveries."""
-        if not selected:
-            return
-        if self.delivery_engine is not None:
-            removed = self.delivery_engine.deliver_batch(
-                now=now,
-                selected=selected,
-                device=self.device,
-                data_budget=self.data_budget,
-                energy_budget=self.energy_budget,
-                utility_model=self.utility_model,
-                result=result,
-                ttl_seconds=self.ttl_seconds,
-            )
-            self.total_dropped += result.dead_letters
-            if removed:
-                self._scheduling = [
-                    item
-                    for item in self._scheduling
-                    if item.item_id not in removed
-                ]
-            return
-        sizes = [item.ladder.size(level) for item, level in selected]
-        batch_energy = self.device.download_batch(sizes)
-        total_size = sum(sizes)
-        delivered_ids = set()
-        for (item, level), size in zip(selected, sizes):
-            # Realized energy attribution: proportional share of the batch.
-            share = batch_energy * (size / total_size) if total_size else 0.0
-            self.data_budget.debit(size)
-            self.energy_budget.debit(share)
-            result.deliveries.append(
-                Delivery(
-                    time=now,
-                    user_id=self.device.user_id,
-                    item=item,
-                    level=level,
-                    size_bytes=size,
-                    energy_joules=share,
-                    utility=self.utility_model.utility(item, level, now),
-                )
-            )
-            delivered_ids.add(item.item_id)
-        # Step 3: drop all presentations of delivered items from the queue.
-        self._scheduling = [
-            item for item in self._scheduling if item.item_id not in delivered_ids
-        ]
 
 
 class RichNoteScheduler(RoundBasedScheduler):
-    """The paper's scheduler: Lyapunov-adjusted MCKP selection (Eq. 7).
+    """Deprecated: the paper's scheduler as a concrete class.
 
-    Parameters beyond the base class:
-
-    lyapunov:
-        Control configuration (V, kappa, unit scales).  ``kappa`` must
-        match the energy budget's target.
-    use_hull_selector:
-        Run Algorithm 1 behind LP-domination (convex hull) preprocessing
-        (:func:`repro.core.mckp.select_presentations_general`).  Identical
-        selections on the library's gradient-monotone ladders; strictly
-        safer when adjusted-utility profiles dip (e.g. strongly negative
-        energy pressure), at an O(n k) preprocessing cost per round.
+    Equivalent to a :class:`~repro.runtime.loop.RoundLoop` bound to the
+    ``richnote`` policy; all selection math now runs through
+    :mod:`repro.runtime.kernels`.  See the class it wraps,
+    :class:`repro.runtime.policy.RichNotePolicy`, for the parameters'
+    semantics.
     """
 
     def __init__(
@@ -330,68 +80,30 @@ class RichNoteScheduler(RoundBasedScheduler):
         ttl_seconds: float | None = None,
         delivery_engine: "DeliveryEngine | None" = None,
     ) -> None:
+        warnings.warn(
+            "repro.core.scheduler.RichNoteScheduler is deprecated; build a "
+            "repro.runtime.RoundLoop and bind the 'richnote' policy via "
+            "repro.runtime.registry.create('richnote', ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             device, data_budget, energy_budget, utility_model, ttl_seconds,
             delivery_engine,
         )
-        self._select_fn = (
-            select_presentations_general
-            if use_hull_selector
-            else select_presentations
+        self.bind_policy(
+            RichNotePolicy(lyapunov=lyapunov, use_hull_selector=use_hull_selector)
         )
-        config = lyapunov or LyapunovConfig(kappa_joules=energy_budget.kappa_joules)
-        if abs(config.kappa_joules - energy_budget.kappa_joules) > 1e-6:
-            raise ValueError(
-                "Lyapunov kappa must match the energy budget's kappa "
-                f"({config.kappa_joules} != {energy_budget.kappa_joules})"
-            )
-        self.controller = LyapunovController(config)
-        #: End-of-round Lyapunov function values L(t) -- the stability
-        #: diagnostic (bounded L <=> bounded queues, P near kappa).
-        self.lyapunov_history: list[float] = []
+
+    @property
+    def controller(self) -> LyapunovController:
+        return self.policy.controller
+
+    @property
+    def lyapunov_history(self) -> list[float]:
+        """End-of-round Lyapunov function values L(t) (stability diagnostic)."""
+        return self.policy.lyapunov_history
 
     def lyapunov_value(self) -> float:
         """Current ``L(t)`` over the live queue and energy state."""
-        state = LyapunovState(
-            q_bytes=self.backlog_bytes(),
-            p_joules=self.energy_budget.available,
-        )
-        return self.controller.lyapunov_function(state)
-
-    def run_round(self, now: float, round_seconds: float) -> RoundResult:
-        result = super().run_round(now, round_seconds)
-        self.lyapunov_history.append(self.lyapunov_value())
-        return result
-
-    def _select(
-        self, now: float, effective_budget: int
-    ) -> list[tuple[ContentItem, int]]:
-        state = LyapunovState(
-            q_bytes=self.backlog_bytes(),
-            p_joules=self.energy_budget.available,
-        )
-        by_key: dict[int, ContentItem] = {}
-        mckp_items: list[MckpItem] = []
-        for item in self._selectable(now):
-            ladder = item.ladder
-            utilities = self.utility_model.utilities_for_ladder(item, now)
-            energies = [
-                self.device.estimate_energy(ladder.size(level))
-                if level > 0
-                else 0.0
-                for level in range(ladder.max_level + 1)
-            ]
-            profits = self.controller.adjusted_profile(
-                state, float(ladder.total_size()), energies, utilities
-            )
-            sizes = tuple(ladder.size(level) for level in range(ladder.max_level + 1))
-            mckp_items.append(
-                MckpItem(key=item.item_id, sizes=sizes, profits=tuple(profits))
-            )
-            by_key[item.item_id] = item
-
-        instance = MckpInstance(items=tuple(mckp_items), budget=effective_budget)
-        solution = self._select_fn(instance)
-        return [
-            (by_key[key], solution.levels[key]) for key in solution.selected_keys()
-        ]
+        return self.policy.lyapunov_value(self)

@@ -44,7 +44,14 @@ class Method(str, Enum):
 
 @dataclass(frozen=True)
 class MethodSpec:
-    """A policy plus its fixed presentation level (baselines only)."""
+    """A registry key plus its fixed presentation level (baselines only).
+
+    A spec names a :class:`~repro.runtime.policy.SchedulerPolicy` in the
+    :mod:`repro.runtime.registry` (:attr:`policy_name`) and carries the
+    experiment-level parameters the policy needs
+    (:meth:`policy_params`); orchestration layers never import concrete
+    policy classes.
+    """
 
     method: Method
     fixed_level: int | None = None
@@ -56,11 +63,48 @@ class MethodSpec:
         elif self.fixed_level is None or self.fixed_level < 1:
             raise ValueError(f"{self.method.value} needs a fixed level >= 1")
 
+    @classmethod
+    def parse(cls, text: str) -> "MethodSpec":
+        """Parse the CLI grammar: ``richnote`` | ``fifo:<L>`` | ``util:<L>``."""
+        name, _, level = text.partition(":")
+        name = name.lower()
+        if name == "richnote":
+            if level:
+                raise ValueError("richnote does not take a level")
+            return cls(Method.RICHNOTE)
+        try:
+            method = Method(name)
+        except ValueError:
+            raise ValueError(
+                f"unknown method {name!r}; choose richnote, fifo:<L>, util:<L>"
+            ) from None
+        if not level:
+            raise ValueError(f"{name} needs a level, e.g. {name}:3")
+        return cls(method, fixed_level=int(level))
+
     @property
     def label(self) -> str:
         if self.method is Method.RICHNOTE:
             return "RichNote"
         return f"{self.method.value.upper()}-L{self.fixed_level}"
+
+    @property
+    def policy_name(self) -> str:
+        """The :mod:`repro.runtime.registry` key of the backing policy."""
+        return self.method.value
+
+    def policy_params(self, config: "ExperimentConfig") -> dict:
+        """Constructor kwargs for ``registry.create(self.policy_name, ...)``."""
+        if self.method is Method.RICHNOTE:
+            from repro.core.lyapunov import LyapunovConfig
+
+            return {
+                "lyapunov": LyapunovConfig(
+                    v=config.lyapunov_v,
+                    kappa_joules=config.kappa_joules_per_round,
+                )
+            }
+        return {"fixed_level": self.fixed_level}
 
 
 @dataclass(frozen=True)

@@ -4,11 +4,15 @@ Section V-C: "while we run simulations using 10K users, our solution can
 potentially scale to a much larger user base using a backend parallel
 platform since our solution can work in rounds and independently for each
 user."  This module is that backend: users shard perfectly (no shared
-state between per-user schedulers), so the runner fans user replays out to
+state between per-user round loops), so the runner fans user replays out to
 a process pool and aggregates the returned metrics.
 
 Only the records and utility scores of each worker's users cross the
-process boundary -- the workload object itself stays in the parent.
+process boundary -- the workload object itself stays in the parent.  Each
+worker rebuilds its user's :class:`repro.runtime.loop.RoundLoop` locally,
+resolving the policy by :attr:`MethodSpec.policy_name` through
+:mod:`repro.runtime.registry`, so only the (picklable) registry key and
+parameters travel, never a policy instance.
 """
 
 from __future__ import annotations

@@ -20,15 +20,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.baselines import FifoScheduler, UtilScheduler
 from repro.core.budgets import DataBudget, EnergyBudget
 from repro.core.delivery import DeliveryEngine
-from repro.core.lyapunov import LyapunovConfig
 from repro.core.presentations import build_audio_ladder
-from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler
 from repro.core.utility import CombinedUtilityModel, ExponentialAging
 from repro.experiments.adapters import record_to_item
-from repro.experiments.config import ExperimentConfig, Method, MethodSpec, NetworkMode
+from repro.experiments.config import ExperimentConfig, MethodSpec, NetworkMode
 from repro.experiments.metrics import (
     AggregateMetrics,
     FailureStats,
@@ -36,6 +33,9 @@ from repro.experiments.metrics import (
     aggregate,
     compute_user_metrics,
 )
+from repro.runtime import registry
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import Delivery
 from repro.sim.faults import RandomFaultPolicy
 from repro.ml.crossval import CrossValResult, cross_validate
 from repro.ml.dataset import FeatureExtractor, build_training_set
@@ -179,30 +179,24 @@ def _build_scheduler(
     config: ExperimentConfig,
     device: MobileDevice,
     utility_model: CombinedUtilityModel,
-) -> RoundBasedScheduler:
+) -> RoundLoop:
+    """One user's round loop, its policy resolved through the registry.
+
+    The runner never imports concrete policy classes: ``spec`` carries a
+    registry key plus parameters, so any registered policy -- including
+    downstream plugins -- runs through the same harness.
+    """
     data_budget = DataBudget(theta_bytes=config.theta_bytes_per_round)
     energy_budget = EnergyBudget(kappa_joules=config.kappa_joules_per_round)
     engine = _build_delivery_engine(config, device.user_id)
-    if spec.method is Method.RICHNOTE:
-        return RichNoteScheduler(
-            device,
-            data_budget,
-            energy_budget,
-            utility_model,
-            lyapunov=LyapunovConfig(
-                v=config.lyapunov_v,
-                kappa_joules=config.kappa_joules_per_round,
-            ),
-            delivery_engine=engine,
-        )
-    scheduler_cls = FifoScheduler if spec.method is Method.FIFO else UtilScheduler
-    return scheduler_cls(
+    policy = registry.create(spec.policy_name, **spec.policy_params(config))
+    return RoundLoop(
         device,
         data_budget,
         energy_budget,
-        fixed_level=spec.fixed_level,
-        utility_model=utility_model,
+        utility_model,
         delivery_engine=engine,
+        policy=policy,
     )
 
 

@@ -26,11 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.presentations import build_audio_ladder
-from repro.core.scheduler import Delivery, RichNoteScheduler, RoundBasedScheduler
 from repro.core.utility import CombinedUtilityModel, ExponentialAging, LearnedContentUtility
-from repro.core.baselines import FifoScheduler, UtilScheduler
 from repro.core.budgets import DataBudget, EnergyBudget
-from repro.core.lyapunov import LyapunovConfig
 from repro.experiments.adapters import record_to_item
 from repro.experiments.config import ExperimentConfig, Method, MethodSpec
 from repro.experiments.metrics import UserMetrics, aggregate, compute_user_metrics
@@ -38,6 +35,9 @@ from repro.experiments.runner import _build_device, _forest_factory
 from repro.ml.dataset import FeatureExtractor, build_training_set
 from repro.pubsub.broker import Broker, DeliveryMode
 from repro.pubsub.capacity import CapacityConfig, CapacityLimitedBroker
+from repro.runtime import registry
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import Delivery
 from repro.sim.engine import Simulator
 from repro.trace.entities import Catalog
 from repro.trace.generator import TraceConfig, TraceGenerator, Workload
@@ -115,33 +115,27 @@ class SystemSimulation:
 
     def _build_schedulers(
         self, user_ids: list[int], duration: float
-    ) -> dict[int, RoundBasedScheduler]:
+    ) -> dict[int, RoundLoop]:
+        """One round loop per user, policies resolved through the registry."""
         config = self.config.experiment
+        spec = self.config.method
         aging = (
             ExponentialAging(config.aging_tau_seconds)
             if config.aging_tau_seconds
             else None
         )
-        schedulers: dict[int, RoundBasedScheduler] = {}
+        schedulers: dict[int, RoundLoop] = {}
         for user_id in user_ids:
             device = _build_device(user_id, config, duration)
             data = DataBudget(theta_bytes=config.theta_bytes_per_round)
             energy = EnergyBudget(kappa_joules=config.kappa_joules_per_round)
             utility_model = CombinedUtilityModel(aging=aging)
-            spec = self.config.method
-            if spec.method is Method.RICHNOTE:
-                schedulers[user_id] = RichNoteScheduler(
-                    device, data, energy, utility_model,
-                    lyapunov=LyapunovConfig(
-                        v=config.lyapunov_v,
-                        kappa_joules=config.kappa_joules_per_round,
-                    ),
-                )
-            else:
-                cls = FifoScheduler if spec.method is Method.FIFO else UtilScheduler
-                schedulers[user_id] = cls(
-                    device, data, energy, spec.fixed_level, utility_model
-                )
+            schedulers[user_id] = RoundLoop(
+                device, data, energy, utility_model,
+                policy=registry.create(
+                    spec.policy_name, **spec.policy_params(config)
+                ),
+            )
         return schedulers
 
     # -- the run ----------------------------------------------------------------

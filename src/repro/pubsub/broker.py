@@ -18,11 +18,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.pubsub.matching import TopicMatcher
 from repro.pubsub.subscriptions import SubscriptionStore
 from repro.pubsub.topics import Publication, TopicKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.content import ContentItem
+    from repro.runtime.loop import RoundLoop
+    from repro.runtime.types import RoundResult
 
 
 class DeliveryMode(str, Enum):
@@ -240,3 +245,81 @@ class Broker:
             else:
                 if circuit.record_success():
                     self.stats.breaker_transitions += 1
+
+
+class SchedulerFleetSink:
+    """A broker sink that routes notifications into per-user round loops.
+
+    The deployed composition of Section IV: register the sink with
+    :meth:`Broker.add_sink`, publish, and call :meth:`run_round` at every
+    round boundary.  Loops are created lazily, one per recipient, by
+    ``loop_factory(user_id)``; each released notification is converted to
+    a :class:`~repro.core.content.ContentItem` by
+    ``item_factory(notification)`` and enqueued to its recipient's loop.
+
+    The sink never imports concrete policy classes --
+    :meth:`with_policy` resolves the selection rule by registry name, so
+    swapping the fleet from ``richnote`` to a downstream plugin policy is
+    a one-string change.
+    """
+
+    def __init__(
+        self,
+        item_factory: "Callable[[Notification], ContentItem]",
+        loop_factory: "Callable[[int], RoundLoop]",
+    ) -> None:
+        self._item_factory = item_factory
+        self._loop_factory = loop_factory
+        self._loops: dict[int, "RoundLoop"] = {}
+
+    @classmethod
+    def with_policy(
+        cls,
+        item_factory: "Callable[[Notification], ContentItem]",
+        loop_factory: "Callable[[int], RoundLoop]",
+        policy: str,
+        **policy_params,
+    ) -> "SchedulerFleetSink":
+        """A fleet whose loops bind a fresh registry-created policy each.
+
+        ``loop_factory(user_id)`` builds the bare loop (device, budgets,
+        utility model); this wrapper then binds
+        ``registry.create(policy, **policy_params)`` to it.  Policies are
+        per-user instances, so stateful policies (e.g. ``richnote``'s
+        Lyapunov history) never share state across users.
+        """
+        from repro.runtime import registry
+
+        def bound_factory(user_id: int) -> "RoundLoop":
+            loop = loop_factory(user_id)
+            loop.bind_policy(registry.create(policy, **policy_params))
+            return loop
+
+        return cls(item_factory, bound_factory)
+
+    def __call__(self, notification: Notification) -> None:
+        self.loop_for(notification.recipient_id).enqueue(
+            self._item_factory(notification)
+        )
+
+    def loop_for(self, user_id: int) -> "RoundLoop":
+        """The (lazily created) round loop of one recipient."""
+        loop = self._loops.get(user_id)
+        if loop is None:
+            loop = self._loop_factory(user_id)
+            self._loops[user_id] = loop
+        return loop
+
+    @property
+    def user_ids(self) -> list[int]:
+        """Recipients with a live loop, sorted."""
+        return sorted(self._loops)
+
+    def run_round(
+        self, now: float, round_seconds: float
+    ) -> dict[int, "RoundResult"]:
+        """Advance every user's loop one round; results keyed by user id."""
+        return {
+            user_id: self._loops[user_id].run_round(now, round_seconds)
+            for user_id in sorted(self._loops)
+        }

@@ -1,0 +1,267 @@
+"""Pure, array-oriented decision kernels (the bottom runtime layer).
+
+Each kernel is a stateless function over parallel columns -- sizes,
+energies, utilities for an entire scheduling queue in one call -- so the
+per-round hot path allocates matrices instead of one object per
+(item, level) pair.  The three kernels mirror the paper's math exactly:
+
+* :func:`combined_utility_matrix` -- ``U(i, j) = U_c(i) x U_p(i, j)``
+  (Eq. 1) as an outer product of a content-utility column and a
+  presentation-utility row (or per-item rows);
+* :func:`lyapunov_adjusted_matrix` -- the drift-plus-penalty adjustment
+  ``U_a(i, j) = Q s(i) + (P - kappa) rho(i, j) + V U(i, j)`` (Eq. 7),
+  with the same operation order and unit scaling as
+  :meth:`repro.core.lyapunov.LyapunovController.adjusted_utility`, so the
+  two paths agree bit for bit;
+* :func:`greedy_select` / :func:`greedy_select_hull` -- Algorithm 1's
+  utility-size-gradient greedy over row arrays, optionally behind the
+  LP-domination (convex hull) preprocessing of :func:`hull_levels`.
+
+Layering contract (enforced by richlint RL601): this module imports
+nothing from the policy or orchestration layers -- only the standard
+library and numpy.  Bit-for-bit parity with the legacy object path is
+asserted by ``benchmarks/test_bench_kernels.py``; keep any float
+arithmetic in the exact order written here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "combined_utility_matrix",
+    "exp_decay_column",
+    "gradient",
+    "greedy_select",
+    "greedy_select_hull",
+    "hull_levels",
+    "lyapunov_adjusted_matrix",
+]
+
+
+def exp_decay_column(
+    contents: Sequence[float], ages_seconds: Sequence[float], tau_seconds: float
+) -> np.ndarray:
+    """Exponentially aged content utilities: ``U_c(i) * exp(-age_i / tau)``.
+
+    Uses ``math.exp`` element-wise (not ``np.exp``) so the result is
+    bit-identical to :meth:`repro.core.utility.ExponentialAging.decay`
+    applied per item -- the two libm paths may differ by one ulp.
+    """
+    import math
+
+    return np.array(
+        [
+            content * math.exp(-age / tau_seconds)
+            for content, age in zip(contents, ages_seconds)
+        ],
+        dtype=np.float64,
+    )
+
+
+def combined_utility_matrix(
+    contents: Sequence[float] | np.ndarray,
+    presentation_utilities: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """``U[i, j] = U_c(i) * U_p(j)`` for a queue column and a ladder row.
+
+    ``presentation_utilities`` is either one shared ladder row (1-D, the
+    homogeneous-queue fast path) or one row per item (2-D).
+    """
+    content_column = np.asarray(contents, dtype=np.float64)
+    ladder = np.asarray(presentation_utilities, dtype=np.float64)
+    if ladder.ndim == 1:
+        return content_column[:, None] * ladder[None, :]
+    return content_column[:, None] * ladder
+
+
+def lyapunov_adjusted_matrix(
+    utilities: np.ndarray,
+    energies_joules: Sequence[float] | np.ndarray,
+    backlog_bytes: Sequence[float] | np.ndarray,
+    *,
+    q_bytes: float,
+    p_joules: float,
+    kappa_joules: float,
+    v: float,
+    size_scale: float,
+    energy_scale: float,
+) -> np.ndarray:
+    """Eq. 7 over a whole queue: ``U_a = Q s + (P - kappa) rho + V U``.
+
+    ``utilities`` is the ``(n_items, n_levels)`` matrix of combined
+    utilities; ``energies_joules`` is one shared per-level row (1-D) or a
+    per-item matrix (2-D); ``backlog_bytes`` is the per-item ``s(i)``
+    column (each item's total backlog contribution).  Column 0 -- the
+    "not sent" level -- is forced to exactly 0.0, matching
+    :meth:`~repro.core.lyapunov.LyapunovController.adjusted_profile`.
+
+    The order of float operations replicates ``adjusted_utility``:
+    ``(Q*ss)*(s_i*ss) + ((P-kappa)*es)*(rho*es) + V*U``, evaluated left
+    to right, so results match the scalar path bit for bit.
+    """
+    utility_matrix = np.asarray(utilities, dtype=np.float64)
+    energies = np.asarray(energies_joules, dtype=np.float64)
+    backlog = np.asarray(backlog_bytes, dtype=np.float64)
+    queue_column = (q_bytes * size_scale) * (backlog * size_scale)
+    energy_terms = ((p_joules - kappa_joules) * energy_scale) * (
+        energies * energy_scale
+    )
+    if energy_terms.ndim == 1:
+        energy_terms = energy_terms[None, :]
+    adjusted = queue_column[:, None] + energy_terms + v * utility_matrix
+    adjusted[:, 0] = 0.0
+    return adjusted
+
+
+def gradient(
+    sizes: Sequence[int], profits: Sequence[float], level: int
+) -> float:
+    """Utility-size gradient for upgrading ``level -> level + 1``.
+
+    The denominator is positive by the strict-size-increase invariant of
+    presentation ladders.
+    """
+    dsize = sizes[level + 1] - sizes[level]
+    dprofit = profits[level + 1] - profits[level]
+    return dprofit / dsize
+
+
+def greedy_select(
+    keys: Sequence[int],
+    sizes_rows: Sequence[Sequence[int]],
+    profits_rows: Sequence[Sequence[float]],
+    budget: int,
+) -> tuple[list[int], int, float]:
+    """Algorithm 1 (SelectPresentations) over parallel row arrays.
+
+    Row ``i`` describes item ``keys[i]``: ``sizes_rows[i][j]`` /
+    ``profits_rows[i][j]`` are the size and (possibly Lyapunov-adjusted)
+    profit of level ``j``.  Level 0 must have size 0; sizes must strictly
+    increase; keys must be unique (they are the heap tie-break, exactly
+    as in the legacy object path).
+
+    Returns ``(levels, total_size, total_profit)`` with ``levels[i]`` the
+    chosen level of item ``i`` in input order.
+
+    Semantics match :func:`repro.core.mckp.select_presentations`:
+    repeatedly upgrade the item whose next upgrade has the largest
+    gradient; skip stale heap entries; stop at the first non-positive
+    head gradient; an unaffordable upgrade freezes that item only.
+    """
+    levels = [0] * len(keys)
+    index_of: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = []  # (-gradient, key, current level)
+    for index, key in enumerate(keys):
+        index_of[key] = index
+        if len(sizes_rows[index]) > 1:
+            heap.append(
+                (-gradient(sizes_rows[index], profits_rows[index], 0), key, 0)
+            )
+    if len(index_of) != len(keys):
+        raise ValueError("item keys must be unique")
+    heapq.heapify(heap)
+
+    total_size = 0
+    total_profit = 0.0
+    while heap:
+        neg_grad, key, level = heapq.heappop(heap)
+        index = index_of[key]
+        if levels[index] != level:
+            # Stale entry from before a previous upgrade of this item.
+            continue
+        if -neg_grad <= 0.0:
+            # Monotone-gradient ladders: no later upgrade of any item can
+            # beat this one, so the remaining heap is all non-improving.
+            break
+        sizes = sizes_rows[index]
+        profits = profits_rows[index]
+        size_gain = sizes[level + 1] - sizes[level]
+        if total_size + size_gain > budget:
+            # Freeze this item; cheaper upgrades of other items may still fit.
+            continue
+        next_level = level + 1
+        levels[index] = next_level
+        total_size += size_gain
+        total_profit += profits[next_level] - profits[level]
+        if next_level < len(sizes) - 1:
+            heapq.heappush(
+                heap, (-gradient(sizes, profits, next_level), key, next_level)
+            )
+    return levels, total_size, total_profit
+
+
+def hull_levels(
+    sizes: Sequence[int], profits: Sequence[float]
+) -> list[int]:
+    """Levels surviving LP-domination filtering, in increasing size order.
+
+    Classical MCKP preprocessing (Sinha & Zoltners): drop *dominated*
+    levels (no larger size, no smaller profit elsewhere), then drop
+    *LP-dominated* levels below the upper-left convex hull of the
+    (size, profit) cloud.  Survivors always include level 0 and have
+    strictly decreasing gradients -- the precondition for Algorithm 1's
+    one-upgrade optimality bound under ARBITRARY profit profiles.
+    """
+    # Dominance pass: sizes strictly increase by construction, so a level
+    # is dominated iff its profit does not exceed the best profit so far.
+    kept: list[int] = [0]
+    best_profit = profits[0]
+    for level in range(1, len(sizes)):
+        if profits[level] > best_profit:
+            kept.append(level)
+            best_profit = profits[level]
+
+    # Convex hull pass over the kept levels (Graham-scan style).
+    hull: list[int] = []
+    for level in kept:
+        while len(hull) >= 2:
+            a, b = hull[-2], hull[-1]
+            gradient_ab = (profits[b] - profits[a]) / (sizes[b] - sizes[a])
+            gradient_ac = (profits[level] - profits[a]) / (
+                sizes[level] - sizes[a]
+            )
+            if gradient_ac >= gradient_ab:
+                hull.pop()
+            else:
+                break
+        hull.append(level)
+    return hull
+
+
+def greedy_select_hull(
+    keys: Sequence[int],
+    sizes_rows: Sequence[Sequence[int]],
+    profits_rows: Sequence[Sequence[float]],
+    budget: int,
+) -> tuple[list[int], int, float]:
+    """Algorithm 1 behind per-item LP-domination preprocessing.
+
+    Reduces each row to its convex hull (so gradients strictly decrease),
+    runs :func:`greedy_select` on the reduced rows, and maps chosen levels
+    back to original ladder indices.  Identical selections to
+    :func:`greedy_select` on gradient-monotone ladders; strictly safer
+    when adjusted-utility profiles dip (e.g. strongly negative energy
+    pressure), at an ``O(n k)`` preprocessing cost.
+    """
+    hulls = [
+        hull_levels(sizes, profits)
+        for sizes, profits in zip(sizes_rows, profits_rows)
+    ]
+    reduced_sizes = [
+        [sizes_rows[i][level] for level in hull] for i, hull in enumerate(hulls)
+    ]
+    reduced_profits = [
+        [profits_rows[i][level] for level in hull] for i, hull in enumerate(hulls)
+    ]
+    levels, total_size, total_profit = greedy_select(
+        keys, reduced_sizes, reduced_profits, budget
+    )
+    return (
+        [hulls[i][level] for i, level in enumerate(levels)],
+        total_size,
+        total_profit,
+    )

@@ -1,0 +1,310 @@
+"""The composable round loop (Algorithm 2) -- queues, budgets, delivery.
+
+Per Section IV, the broker runs one loop instance per user.  Each round
+is a fixed sequence of phases (:attr:`RoundLoop.phase_names`):
+
+``ingest``
+    items that arrived since the previous round move from the *incoming*
+    queue to the *scheduling* queue; TTL-expired items are evicted;
+``replenish``
+    budgets top up -- ``B(t) += theta`` and ``P(t) += e(t)`` while
+    ``P(t) <= kappa`` (the device's battery state determines ``e(t)``);
+``select``
+    connectivity is sampled for the round; a subset of scheduling-queue
+    items is selected at presentation levels by the bound
+    :class:`~repro.runtime.policy.SchedulerPolicy` and sorted into the
+    delivery queue by descending utility;
+``deliver``
+    the delivery queue drains to the device; delivered items are debited
+    from both budgets and all of their presentations leave the
+    scheduling queue.
+
+Each phase is a ``<name>_phase(state)`` method, so subclasses can
+override or extend individual phases without re-implementing the loop.
+Policies plug in via :meth:`RoundLoop.bind_policy`; legacy subclasses
+may instead override :meth:`RoundLoop._select` directly (the seam the
+pre-runtime ``RoundBasedScheduler`` exposed, kept working on purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
+    from repro.core.delivery import DeliveryEngine
+
+from repro.analysis.markers import conserves
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem
+from repro.core.utility import CombinedUtilityModel
+from repro.runtime.policy import RoundContext, SchedulerPolicy
+from repro.runtime.types import Delivery, DroppedItem, RoundResult
+from repro.sim.device import MobileDevice
+
+
+@dataclass(slots=True)
+class RoundState:
+    """Mutable scratch state threaded through one round's phases."""
+
+    now: float
+    round_seconds: float
+    result: RoundResult
+    effective_budget: int = 0
+    selected: list[tuple[ContentItem, int]] = field(default_factory=list)
+
+
+class RoundLoop:
+    """Queue/budget/delivery machinery shared by every scheduling policy.
+
+    The loop owns the state Algorithm 2 mutates (queues, budgets, the
+    round counter); the *decision* of what to deliver is delegated to the
+    bound policy each round via a frozen
+    :class:`~repro.runtime.policy.RoundContext` snapshot.
+    """
+
+    #: The phase sequence of one round; each name dispatches to a
+    #: ``<name>_phase(state)`` method.
+    phase_names: tuple[str, ...] = ("ingest", "replenish", "select", "deliver")
+
+    def __init__(
+        self,
+        device: MobileDevice,
+        data_budget: DataBudget,
+        energy_budget: EnergyBudget,
+        utility_model: CombinedUtilityModel | None = None,
+        ttl_seconds: float | None = None,
+        delivery_engine: "DeliveryEngine | None" = None,
+        policy: SchedulerPolicy | None = None,
+    ) -> None:
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl must be positive when set")
+        self.device = device
+        self.data_budget = data_budget
+        self.energy_budget = energy_budget
+        self.utility_model = utility_model or CombinedUtilityModel()
+        #: Optional fault-tolerant delivery path
+        #: (:class:`repro.core.delivery.DeliveryEngine`).  ``None`` keeps
+        #: the paper's atomic delivery semantics.
+        self.delivery_engine = delivery_engine
+        #: Optional notification expiry: items older than this are evicted
+        #: at the start of a round instead of being delivered stale.  The
+        #: paper keeps items queued indefinitely (None, the default); real
+        #: deployments expire friend-feed notifications.
+        self.ttl_seconds = ttl_seconds
+        self._incoming: list[ContentItem] = []
+        self._scheduling: list[ContentItem] = []
+        self._round_index = 0
+        self.total_dropped = 0
+        self.policy: SchedulerPolicy | None = None
+        if policy is not None:
+            self.bind_policy(policy)
+
+    # -- policy binding -------------------------------------------------------
+
+    def bind_policy(self, policy: SchedulerPolicy) -> None:
+        """Attach ``policy`` as this loop's selection rule.
+
+        Runs the policy's optional ``attach(loop)`` hook, which may
+        validate configuration against the loop's budgets (and raise).
+        """
+        self.policy = policy
+        attach = getattr(policy, "attach", None)
+        if attach is not None:
+            attach(self)
+
+    # -- queue management -----------------------------------------------------
+
+    def enqueue(self, item: ContentItem) -> None:
+        """Add a newly arrived item to the incoming queue."""
+        if item.user_id != self.device.user_id:
+            raise ValueError(
+                f"item for user {item.user_id} routed to scheduler of "
+                f"user {self.device.user_id}"
+            )
+        self._incoming.append(item)
+
+    @property
+    def pending_items(self) -> int:
+        """Items awaiting delivery across incoming + scheduling queues."""
+        return len(self._incoming) + len(self._scheduling)
+
+    def backlog_bytes(self) -> float:
+        """``Q(t)``: total byte backlog of the scheduling queue.
+
+        Per Eq. 4 an item contributes the sum of all its presentation
+        sizes, since delivery drops every presentation of the item.
+        """
+        return float(sum(item.ladder.total_size() for item in self._scheduling))
+
+    def scheduling_queue(self) -> Sequence[ContentItem]:
+        return tuple(self._scheduling)
+
+    def _selectable(self, now: float) -> list[ContentItem]:
+        """Scheduling-queue items eligible for selection this round.
+
+        Items in retry backoff (fault-tolerant delivery) are held back but
+        still count toward ``Q(t)``/backlog -- they are queued work.
+        """
+        if self.delivery_engine is None:
+            return self._scheduling
+        return [
+            item
+            for item in self._scheduling
+            if self.delivery_engine.eligible(item, now)
+        ]
+
+    # -- policy hook ----------------------------------------------------------
+
+    def make_context(self, now: float, effective_budget: int) -> RoundContext:
+        """The frozen round snapshot handed to the policy's ``select``."""
+        return RoundContext(
+            now=now,
+            effective_budget=effective_budget,
+            items=list(self._selectable(now)),
+            backlog_bytes=self.backlog_bytes(),
+            energy_available_joules=self.energy_budget.available,
+            utility_model=self.utility_model,
+            estimate_energy=self.device.estimate_energy,
+        )
+
+    def _select(
+        self, now: float, effective_budget: int
+    ) -> list[tuple[ContentItem, int]]:
+        """Choose (item, level > 0) pairs within ``effective_budget`` bytes.
+
+        Delegates to the bound policy; legacy subclasses override this
+        directly instead of registering a policy.
+        """
+        if self.policy is None:
+            raise NotImplementedError(
+                "bind a SchedulerPolicy (bind_policy) or override _select"
+            )
+        decision = self.policy.select(self.make_context(now, effective_budget))
+        return list(decision.selections)
+
+    # -- the round loop (Algorithm 2) -----------------------------------------
+
+    def run_round(self, now: float, round_seconds: float) -> RoundResult:
+        """Execute one round at time ``now``; returns what was delivered."""
+        self._round_index += 1
+        state = RoundState(
+            now=now,
+            round_seconds=round_seconds,
+            result=RoundResult(round_index=self._round_index, time=now),
+        )
+        for name in self.phase_names:
+            getattr(self, f"{name}_phase")(state)
+
+        result = state.result
+        result.queue_length_after = len(self._scheduling)
+        result.backlog_bytes_after = self.backlog_bytes()
+        result.data_budget_after = self.data_budget.available
+        result.energy_budget_after = self.energy_budget.available
+        after_round = getattr(self.policy, "after_round", None)
+        if after_round is not None:
+            after_round(self, result)
+        return result
+
+    def ingest_phase(self, state: RoundState) -> None:
+        """Incoming items become schedulable; TTL-expired items are evicted."""
+        if self._incoming:
+            self._scheduling.extend(self._incoming)
+            self._incoming = []
+
+        if self.ttl_seconds is not None:
+            now = state.now
+            fresh: list[ContentItem] = []
+            for item in self._scheduling:
+                if now - item.created_at > self.ttl_seconds:
+                    state.result.dropped.append(
+                        DroppedItem(time=now, item=item, reason="ttl_expired")
+                    )
+                    self.total_dropped += 1
+                else:
+                    fresh.append(item)
+            self._scheduling = fresh
+
+    def replenish_phase(self, state: RoundState) -> None:
+        """Step 2 of Algorithm 2: budget replenishment."""
+        self.data_budget.replenish()
+        e_t = self.device.replenishment(state.now, self.energy_budget.kappa_joules)
+        self.energy_budget.replenish(e_t)
+
+    def select_phase(self, state: RoundState) -> None:
+        """Sample connectivity, then ask the policy for this round's picks."""
+        now = state.now
+        self.device.begin_round(now, state.round_seconds)
+        state.result.connected = self.device.connected
+        if not (self.device.connected and self._selectable(now)):
+            return
+        capacity = self.device.round_capacity_bytes(state.round_seconds)
+        state.effective_budget = int(min(self.data_budget.available, capacity))
+        selected = self._select(now, state.effective_budget)
+        if self.delivery_engine is not None:
+            # Previously failed items may be capped at a degraded level.
+            selected = self.delivery_engine.apply_level_caps(selected)
+        # Delivery queue drains in descending utility order (Alg. 2, step 1).
+        selected.sort(
+            key=lambda pair: self.utility_model.utility(pair[0], pair[1], now),
+            reverse=True,
+        )
+        state.selected = selected
+
+    def deliver_phase(self, state: RoundState) -> None:
+        self._deliver(state.now, state.selected, state.result)
+
+    @conserves("every debit is recorded as a delivery (atomic path: no refunds)")
+    def _deliver(
+        self,
+        now: float,
+        selected: list[tuple[ContentItem, int]],
+        result: RoundResult,
+    ) -> None:
+        """Drain the delivery queue: debit budgets, record deliveries."""
+        if not selected:
+            return
+        if self.delivery_engine is not None:
+            removed = self.delivery_engine.deliver_batch(
+                now=now,
+                selected=selected,
+                device=self.device,
+                data_budget=self.data_budget,
+                energy_budget=self.energy_budget,
+                utility_model=self.utility_model,
+                result=result,
+                ttl_seconds=self.ttl_seconds,
+            )
+            self.total_dropped += result.dead_letters
+            if removed:
+                self._scheduling = [
+                    item
+                    for item in self._scheduling
+                    if item.item_id not in removed
+                ]
+            return
+        sizes = [item.ladder.size(level) for item, level in selected]
+        batch_energy = self.device.download_batch(sizes)
+        total_size = sum(sizes)
+        delivered_ids = set()
+        for (item, level), size in zip(selected, sizes):
+            # Realized energy attribution: proportional share of the batch.
+            share = batch_energy * (size / total_size) if total_size else 0.0
+            self.data_budget.debit(size)
+            self.energy_budget.debit(share)
+            result.deliveries.append(
+                Delivery(
+                    time=now,
+                    user_id=self.device.user_id,
+                    item=item,
+                    level=level,
+                    size_bytes=size,
+                    energy_joules=share,
+                    utility=self.utility_model.utility(item, level, now),
+                )
+            )
+            delivered_ids.add(item.item_id)
+        # Step 3: drop all presentations of delivered items from the queue.
+        self._scheduling = [
+            item for item in self._scheduling if item.item_id not in delivered_ids
+        ]

@@ -1,0 +1,80 @@
+"""Name-based registry of :class:`~repro.runtime.policy.SchedulerPolicy` types.
+
+Orchestration layers (experiment runner, pub/sub broker, CLI) resolve
+policies by name -- ``create("richnote", lyapunov=...)`` -- instead of
+importing concrete scheduler classes, so alternative selection rules
+(survival-analysis send policies, utility-mechanism variants) plug in by
+registering a class without touching any orchestration code:
+
+    from repro.runtime import registry
+
+    @registry.register("survival")
+    class SurvivalPolicy:
+        def select(self, ctx): ...
+
+Built-in policies (``richnote``, ``fifo``, ``util``) live in
+:mod:`repro.runtime.policy`, which is imported lazily on first lookup so
+that importing this module has no layering side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+PolicyType = TypeVar("PolicyType", bound=type)
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(name: str) -> Callable[[PolicyType], PolicyType]:
+    """Class decorator registering a policy under ``name``.
+
+    Names are case-sensitive registry keys (the ``method`` strings of
+    :class:`repro.experiments.config.MethodSpec` map onto them).
+    Re-registering a taken name is an error -- remove the old entry first
+    if a test genuinely needs to shadow a built-in.
+    """
+
+    def decorate(cls: PolicyType) -> PolicyType:
+        if name in _REGISTRY:
+            raise ValueError(f"scheduler policy {name!r} is already registered")
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove a registered policy (test/plugin teardown helper)."""
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown scheduler policy {name!r}")
+    del _REGISTRY[name]
+
+
+def get(name: str) -> type:
+    """The registered policy class for ``name``."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {name!r}; available: "
+            + ", ".join(available())
+        ) from None
+
+
+def create(name: str, **params) -> object:
+    """Instantiate the policy registered under ``name`` with ``params``."""
+    return get(name)(**params)
+
+
+def available() -> list[str]:
+    """Registered policy names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtins() -> None:
+    # Importing the policy module runs its @register decorators.
+    import repro.runtime.policy  # noqa: F401

@@ -1,0 +1,12 @@
+"""Fixture: RL601 -- core/runtime must never import orchestration."""
+
+from repro.core.content import ContentItem  # same layer: fine
+from repro.runtime.loop import RoundLoop  # runtime from core: fine
+
+from repro.experiments.runner import run_experiment  # EXPECT[RL601]
+from repro.experiments import metrics  # EXPECT[RL601]
+import repro.cli  # EXPECT[RL601]
+
+
+def fine(loop: RoundLoop, item: ContentItem) -> None:
+    loop.enqueue(item)

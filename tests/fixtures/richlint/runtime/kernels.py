@@ -1,0 +1,15 @@
+"""Fixture: RL601 -- the kernel layer must stay pure array math."""
+
+import heapq  # stdlib: always fine
+import numpy as np  # third-party math: fine
+
+from repro.runtime.policy import RichNotePolicy  # EXPECT[RL601]
+from repro.runtime import registry  # EXPECT[RL601]
+from . import loop  # EXPECT[RL601]
+import repro.experiments.runner  # EXPECT[RL601]
+from repro.pubsub.broker import Broker  # EXPECT[RL601]
+
+
+def fine(values):
+    heapq.heapify(list(values))
+    return np.asarray(values)

@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_six_walkthroughs(self):
-        assert len(python_blocks()) == 6
+    def test_has_seven_walkthroughs(self):
+        assert len(python_blocks()) == 7
 
     @pytest.mark.parametrize(
         "index,block",

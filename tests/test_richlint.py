@@ -62,6 +62,8 @@ FIXTURE_FILES = [
     "r401_mutable_default.py",
     "r402_unfrozen_key.py",
     "r501_conservation.py",
+    "runtime/kernels.py",
+    "core/r601_layering.py",
     "suppressions.py",
 ]
 
