@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint analyze bench artifacts examples clean
+.PHONY: install test chaos lint analyze bench bench-sweep artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,6 +39,11 @@ analyze:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Sweep-engine gates (parity, payload boundary, >=2x speedup on
+# multi-core) on a tiny grid; writes BENCH_sweep.json at the repo root.
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q -rs -s
 
 # Regenerate every figure artifact from a fresh synthetic trace.
 artifacts:

@@ -1,0 +1,183 @@
+"""Benchmark: the persistent sweep engine vs the sequential cell loop.
+
+Three gates pin the execution engine's contract (ISSUE 5):
+
+* **Throughput** -- scheduling the whole (policy, budget) grid onto one
+  persistent :class:`~repro.experiments.pool.ExperimentPool` is >= 2x
+  faster wall-clock than the sequential ``sweep_budgets`` loop on a
+  multi-core runner (skipped on single-core machines, where there is no
+  parallelism to win).
+* **Boundary** -- after pool init, a (cell, batch) task ships only the
+  method spec, config and user ids: kilobytes, no notification records.
+* **Determinism** -- grid aggregates and per-user delivery digests are
+  bit-identical between the two engines.
+
+Every run (re)writes ``BENCH_sweep.json`` at the repo root -- the
+machine-readable perf trajectory (stage wall-clock per cell) that CI
+uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.pool import ExperimentPool, sweep_budgets_parallel
+from repro.experiments.runner import (
+    UtilityAnnotations,
+    run_user,
+    sweep_budgets,
+)
+from repro.experiments.shards import shard_by_user
+from repro.experiments.timing import SweepTelemetry
+from repro.experiments.workloads import eval_workload
+
+BUDGETS = (2.0, 5.0, 20.0)
+SPECS = (
+    MethodSpec(Method.RICHNOTE),
+    MethodSpec(Method.FIFO, 2),
+    MethodSpec(Method.UTIL, 3),
+)
+N_USERS = 10
+BENCH_OUT = Path(
+    os.environ.get(
+        "BENCH_SWEEP_OUT", Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_workload():
+    return eval_workload("small")
+
+
+@pytest.fixture(scope="module")
+def sweep_annotations(sweep_workload):
+    return UtilityAnnotations.train(sweep_workload, seed=23)
+
+
+@pytest.fixture(scope="module")
+def sweep_users(sweep_workload):
+    return sweep_workload.top_users(N_USERS)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return ExperimentConfig(seed=23)
+
+
+def test_grid_parity_and_telemetry(
+    sweep_workload, sweep_annotations, sweep_users, base_config
+):
+    """Pool grid == sequential grid bit for bit; BENCH_sweep.json lands."""
+    sequential = sweep_budgets(
+        sweep_workload, SPECS, BUDGETS, base_config, sweep_annotations,
+        sweep_users,
+    )
+    telemetry = SweepTelemetry()
+    parallel = sweep_budgets_parallel(
+        sweep_workload, SPECS, BUDGETS, base_config, sweep_annotations,
+        sweep_users, keep_per_user=False, telemetry=telemetry,
+    )
+    assert set(parallel) == set(sequential)
+    for key in sequential:
+        assert parallel[key].aggregate == sequential[key].aggregate, key
+
+    payload = telemetry.write(BENCH_OUT)
+    assert payload["schema"] == "richnote-bench-sweep/1"
+    assert payload["totals"]["cells"] == len(SPECS) * len(BUDGETS)
+    assert {"train", "shard"} <= set(payload["stages_s"])
+    for cell in payload["cells"]:
+        assert {"simulate", "aggregate"} <= set(cell["stages_s"])
+    print(f"\n# wrote {BENCH_OUT} ({payload['totals']['cells']} cells)")
+
+
+def test_per_user_digests_bit_identical(
+    sweep_workload, sweep_annotations, sweep_users, base_config
+):
+    config = base_config.with_budget(5.0)
+    spec = MethodSpec(Method.RICHNOTE)
+    with ExperimentPool(
+        sweep_workload, annotations=sweep_annotations, user_ids=sweep_users
+    ) as pool:
+        cell = pool.run_cell(spec, config, digest_deliveries=True)
+    by_user = shard_by_user(sweep_workload.records, sweep_users)
+    duration = sweep_workload.config.duration_hours * 3600.0
+    for outcome in cell.per_user:
+        user_id = outcome.metrics.user_id
+        twin = run_user(
+            user_id, by_user[user_id], spec, config, sweep_annotations,
+            duration, digest_deliveries=True,
+        )
+        assert outcome.delivery_digest == twin.delivery_digest, user_id
+
+
+def test_cell_payload_excludes_records_after_init(
+    sweep_workload, sweep_annotations, sweep_users, base_config
+):
+    with ExperimentPool(
+        sweep_workload, annotations=sweep_annotations, user_ids=sweep_users
+    ) as pool:
+        for index in range(len(pool.batches)):
+            payload = pool.cell_payload(
+                MethodSpec(Method.RICHNOTE), base_config, batch_index=index
+            )
+            assert b"NotificationRecord" not in payload
+            assert b"trace.records" not in payload
+            assert len(payload) < 8_192
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="single-core runner: no parallelism to measure",
+)
+def test_pool_sweep_at_least_2x_faster_than_sequential(
+    sweep_workload, sweep_annotations, sweep_users, base_config
+):
+    # Warm both paths (numpy imports, forest caches) outside the clock.
+    warm = (SPECS[0],)
+    sweep_budgets(
+        sweep_workload, warm, (5.0,), base_config, sweep_annotations, sweep_users
+    )
+    sweep_budgets_parallel(
+        sweep_workload, warm, (5.0,), base_config, sweep_annotations,
+        sweep_users, keep_per_user=False,
+    )
+
+    start = time.perf_counter()
+    sweep_budgets(
+        sweep_workload, SPECS, BUDGETS, base_config, sweep_annotations,
+        sweep_users,
+    )
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sweep_budgets_parallel(
+        sweep_workload, SPECS, BUDGETS, base_config, sweep_annotations,
+        sweep_users, keep_per_user=False,
+    )
+    parallel_s = time.perf_counter() - start
+
+    speedup = sequential_s / parallel_s
+    print(
+        f"\n# {len(SPECS) * len(BUDGETS)}-cell grid x {N_USERS} users: "
+        f"sequential {sequential_s:.2f} s, pool {parallel_s:.2f} s "
+        f"({os.cpu_count()} cores), speedup {speedup:.1f}x"
+    )
+    if BENCH_OUT.exists():
+        trajectory = json.loads(BENCH_OUT.read_text())
+        trajectory.setdefault("meta", {})["speedup_vs_sequential"] = round(
+            speedup, 3
+        )
+        trajectory["meta"]["sequential_s"] = round(sequential_s, 6)
+        trajectory["meta"]["parallel_s"] = round(parallel_s, 6)
+        BENCH_OUT.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    assert speedup >= 2.0, (
+        f"pool sweep only {speedup:.2f}x over sequential "
+        f"({sequential_s:.2f} s -> {parallel_s:.2f} s)"
+    )

@@ -138,13 +138,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     annotations = UtilityAnnotations.train(workload, seed=args.seed)
     users = workload.top_users(args.users) if args.users else None
+    config = ExperimentConfig(seed=args.seed, faults=args.faults)
+    grid = None
+    telemetry = None
+    if args.workers:
+        from repro.experiments.pool import sweep_budgets_parallel
+        from repro.experiments.timing import SweepTelemetry
+
+        telemetry = SweepTelemetry()
+        grid = sweep_budgets_parallel(
+            workload, specs, budgets, config, annotations, users,
+            max_workers=args.workers, keep_per_user=False,
+            telemetry=telemetry,
+        )
     figs = figure3_and_4(
-        workload, budgets, ExperimentConfig(seed=args.seed, faults=args.faults),
-        annotations, users, specs,
+        workload, budgets, config, annotations, users, specs, grid=grid,
     )
     for name in sorted(figs):
         print(render_series_table(figs[name]))
         print()
+    if args.bench_out:
+        if telemetry is None:
+            raise SystemExit("--bench-out requires --workers >= 1")
+        telemetry.write(args.bench_out)
+        print(f"wrote stage timings to {args.bench_out}")
     return 0
 
 
@@ -285,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--faults", type=_parse_faults, default=None,
                        help="chaos: fault probabilities, e.g. 0.2 or "
                             "disconnect=0.2,timeout=0.05")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="run the grid on a persistent worker pool with "
+                            "N processes (0 = sequential)")
+    sweep.add_argument("--bench-out", default="",
+                       help="write per-stage wall-clock telemetry "
+                            "(BENCH_sweep.json format; needs --workers)")
     sweep.set_defaults(handler=cmd_sweep)
 
     figures = commands.add_parser(

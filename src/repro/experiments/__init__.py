@@ -12,18 +12,24 @@ from repro.experiments.adapters import record_to_item
 from repro.experiments.metrics import (
     AggregateMetrics,
     FailureStats,
+    MetricsAccumulator,
     UserMetrics,
     aggregate,
     compute_user_metrics,
 )
 from repro.experiments.parallel import run_experiment_parallel
+from repro.experiments.pool import ExperimentPool, sweep_budgets_parallel
 from repro.experiments.runner import (
+    CellSummary,
     ExperimentResult,
     UtilityAnnotations,
+    delivery_digest,
     run_experiment,
     run_user,
     sweep_budgets,
 )
+from repro.experiments.shards import balanced_batches, shard_by_user
+from repro.experiments.timing import CellTiming, StageTimer, SweepTelemetry
 from repro.experiments.system import SystemConfig, SystemReport, SystemSimulation
 from repro.experiments.confidence import (
     MetricSummary,

@@ -78,12 +78,19 @@ def figure3_and_4(
     annotations: UtilityAnnotations | None = None,
     user_ids: Sequence[int] | None = None,
     specs: Sequence[MethodSpec] | None = None,
+    grid: dict[tuple[str, float], ExperimentResult] | None = None,
 ) -> dict[str, FigureSeries]:
-    """The shared Figures 3-4 sweep; returns all eight metric series."""
+    """The shared Figures 3-4 sweep; returns all eight metric series.
+
+    Pass a precomputed ``grid`` (e.g. from
+    :func:`repro.experiments.pool.sweep_budgets_parallel`) to render
+    series from an already-executed sweep instead of running one here.
+    """
     specs = list(specs) if specs is not None else paper_method_specs()
-    grid = sweep_budgets(
-        workload, specs, budgets_mb, base_config, annotations, user_ids
-    )
+    if grid is None:
+        grid = sweep_budgets(
+            workload, specs, budgets_mb, base_config, annotations, user_ids
+        )
     metric_map = {
         "fig3a_delivery_ratio": lambda r: r.aggregate.delivery_ratio,
         "fig3b_delivered_mb": lambda r: r.aggregate.delivered_mb,

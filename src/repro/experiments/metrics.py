@@ -216,6 +216,73 @@ class AggregateMetrics:
         }
 
 
+class MetricsAccumulator:
+    """Streaming fold of :class:`UserMetrics` into :class:`AggregateMetrics`.
+
+    Folding users one at a time *in the same order* as a batch
+    :func:`aggregate` call produces bit-identical results: both are left
+    folds starting at 0.0, so every float addition happens in the same
+    sequence.  This is what lets the persistent experiment pool aggregate
+    batches as they stream back from workers -- discarding each
+    :class:`UserMetrics` after folding -- while still matching the
+    sequential runner's aggregate exactly.  (:func:`aggregate` itself is
+    implemented on top of this class, so the two can never drift.)
+    """
+
+    def __init__(self) -> None:
+        self.users = 0
+        self._delivery_ratio = 0.0
+        self._precision = 0.0
+        self._recall = 0.0
+        self._average_utility = 0.0
+        self._total_utility = 0.0
+        self._clicked_utility = 0.0
+        self._delivered_bytes = 0.0
+        self._energy_joules = 0.0
+        self._delay_s = 0.0
+        self._level_counts: dict[int, int] = {}
+        self._total_deliveries = 0
+
+    def add(self, user: UserMetrics) -> None:
+        """Fold one user's metrics into the running totals."""
+        self.users += 1
+        self._delivery_ratio += user.delivery_ratio
+        self._precision += user.precision
+        self._recall += user.recall
+        self._average_utility += user.average_utility
+        self._total_utility += user.total_utility
+        self._clicked_utility += user.clicked_utility
+        self._delivered_bytes += user.delivered_bytes
+        self._energy_joules += user.energy_joules
+        self._delay_s += user.mean_queuing_delay_s
+        for level, count in user.level_histogram.items():
+            self._level_counts[level] = self._level_counts.get(level, 0) + count
+            self._total_deliveries += count
+
+    def result(self) -> AggregateMetrics:
+        """The cross-user aggregate of everything folded so far."""
+        if not self.users:
+            raise ValueError("no user metrics to aggregate")
+        n = self.users
+        level_mix = {
+            level: count / self._total_deliveries
+            for level, count in sorted(self._level_counts.items())
+        } if self._total_deliveries else {}
+        return AggregateMetrics(
+            users=n,
+            delivery_ratio=self._delivery_ratio / n,
+            precision=self._precision / n,
+            recall=self._recall / n,
+            average_utility=self._average_utility / n,
+            total_utility=self._total_utility,
+            clicked_utility=self._clicked_utility,
+            delivered_mb=self._delivered_bytes / 1e6,
+            energy_kilojoules=self._energy_joules / 1e3,
+            mean_queuing_delay_s=self._delay_s / n,
+            level_mix=level_mix,
+        )
+
+
 def aggregate(per_user: Sequence[UserMetrics]) -> AggregateMetrics:
     """Average ratio metrics across users; sum volume metrics.
 
@@ -223,28 +290,7 @@ def aggregate(per_user: Sequence[UserMetrics]) -> AggregateMetrics:
     precision, recall, delay) are per-user averages; utility, bytes and
     energy are totals across the user base (Fig. 3b/4a/4c).
     """
-    if not per_user:
-        raise ValueError("no user metrics to aggregate")
-    n = len(per_user)
-    level_counts: dict[int, int] = {}
-    total_deliveries = 0
+    accumulator = MetricsAccumulator()
     for user in per_user:
-        for level, count in user.level_histogram.items():
-            level_counts[level] = level_counts.get(level, 0) + count
-            total_deliveries += count
-    level_mix = {
-        level: count / total_deliveries for level, count in sorted(level_counts.items())
-    } if total_deliveries else {}
-    return AggregateMetrics(
-        users=n,
-        delivery_ratio=sum(u.delivery_ratio for u in per_user) / n,
-        precision=sum(u.precision for u in per_user) / n,
-        recall=sum(u.recall for u in per_user) / n,
-        average_utility=sum(u.average_utility for u in per_user) / n,
-        total_utility=sum(u.total_utility for u in per_user),
-        clicked_utility=sum(u.clicked_utility for u in per_user),
-        delivered_mb=sum(u.delivered_bytes for u in per_user) / 1e6,
-        energy_kilojoules=sum(u.energy_joules for u in per_user) / 1e3,
-        mean_queuing_delay_s=sum(u.mean_queuing_delay_s for u in per_user) / n,
-        level_mix=level_mix,
-    )
+        accumulator.add(user)
+    return accumulator.result()

@@ -1,51 +1,29 @@
-"""Parallel per-user experiment execution.
+"""Parallel per-user experiment execution (one-shot convenience seam).
 
 Section V-C: "while we run simulations using 10K users, our solution can
 potentially scale to a much larger user base using a backend parallel
 platform since our solution can work in rounds and independently for each
-user."  This module is that backend: users shard perfectly (no shared
-state between per-user round loops), so the runner fans user replays out to
-a process pool and aggregates the returned metrics.
+user."  The backend lives in :mod:`repro.experiments.pool`: a persistent
+:class:`~repro.experiments.pool.ExperimentPool` whose workers receive the
+per-user record shards and utility score map once, through the pool
+initializer, and then replay (policy, budget) cells against the resident
+shards.
 
-Only the records and utility scores of each worker's users cross the
-process boundary -- the workload object itself stays in the parent.  Each
-worker rebuilds its user's :class:`repro.runtime.loop.RoundLoop` locally,
-resolving the policy by :attr:`MethodSpec.policy_name` through
-:mod:`repro.runtime.registry`, so only the (picklable) registry key and
-parameters travel, never a policy instance.
+This module keeps the original one-shot entry point:
+:func:`run_experiment_parallel` spins a pool up for a single cell and
+tears it down again.  For sweeps, use
+:func:`repro.experiments.pool.sweep_budgets_parallel`, which amortizes the
+pool over the whole grid.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 from repro.experiments.config import ExperimentConfig, MethodSpec
-from repro.experiments.metrics import aggregate
-from repro.experiments.runner import (
-    ExperimentResult,
-    UserRunOutcome,
-    UtilityAnnotations,
-    run_user,
-)
+from repro.experiments.pool import ExperimentPool
+from repro.experiments.runner import ExperimentResult, UtilityAnnotations
 from repro.trace.generator import Workload
-from repro.trace.records import NotificationRecord
-
-
-def _run_user_task(
-    args: tuple[
-        int,
-        list[NotificationRecord],
-        MethodSpec,
-        ExperimentConfig,
-        dict[int, float],
-        float,
-    ]
-) -> UserRunOutcome:
-    """Process-pool entry point: replay one user."""
-    user_id, records, spec, config, scores, duration = args
-    annotations = UtilityAnnotations(scores=scores)
-    return run_user(user_id, records, spec, config, annotations, duration)
 
 
 def run_experiment_parallel(
@@ -59,39 +37,15 @@ def run_experiment_parallel(
     """Parallel equivalent of :func:`repro.experiments.runner.run_experiment`.
 
     Deterministic: results are identical to the sequential runner (each
-    user's simulation is seeded independently of scheduling order); only
+    user's simulation is seeded independently of scheduling order, and
+    the pool folds outcomes in the sequential user order); only
     wall-clock changes.
     """
-    if annotations is None:
-        annotations = UtilityAnnotations.train(
-            workload, seed=config.seed, oracle=config.use_oracle_utility
-        )
-    duration = workload.config.duration_hours * 3600.0
-    users = list(user_ids) if user_ids is not None else workload.user_ids()
-    by_user: dict[int, list[NotificationRecord]] = {u: [] for u in users}
-    for record in workload.records:
-        if record.recipient_id in by_user:
-            by_user[record.recipient_id].append(record)
-
-    tasks = []
-    for user_id in users:
-        records = by_user[user_id]
-        if not records:
-            continue
-        scores = {
-            r.notification_id: annotations.scores[r.notification_id]
-            for r in records
-        }
-        tasks.append((user_id, records, spec, config, scores, duration))
-    if not tasks:
-        raise ValueError("no users with notifications to simulate")
-
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        outcomes = list(pool.map(_run_user_task, tasks, chunksize=4))
-
-    return ExperimentResult(
-        spec=spec,
-        config=config,
-        aggregate=aggregate([o.metrics for o in outcomes]),
-        per_user=outcomes,
-    )
+    with ExperimentPool(
+        workload,
+        annotations=annotations,
+        user_ids=user_ids,
+        max_workers=max_workers,
+        base_config=config,
+    ) as pool:
+        return pool.run_cell(spec, config)

@@ -1,0 +1,386 @@
+"""Persistent sweep-scale execution engine (Section V-C's backend).
+
+The paper argues RichNote "can potentially scale to a much larger user
+base using a backend parallel platform since our solution can work in
+rounds and independently for each user".  The one-shot
+:func:`repro.experiments.parallel.run_experiment_parallel` proved the
+sharding; this module makes it a *system*:
+
+* **Pool lifecycle** -- an :class:`ExperimentPool` is initialized once
+  per sweep.  The per-user record shards and the content-utility score
+  map cross the process boundary exactly once, through the worker
+  initializer; afterwards each (policy, budget) cell submits only
+  ``(MethodSpec, ExperimentConfig, user-batch ids)`` -- kilobytes per
+  task instead of re-pickling the workload for every cell.
+* **Cost-balanced batching** -- users are partitioned into worker batches
+  by notification count (:func:`repro.experiments.shards.balanced_batches`)
+  instead of a blind fixed chunksize, so one heavy user cannot straggle a
+  whole sweep.
+* **Whole-grid scheduling** -- :func:`sweep_budgets_parallel` submits
+  *all* cells of a Figures 3-5 grid onto the shared pool at once; workers
+  drain a single global queue of (cell, batch) tasks, so the grid
+  finishes in one pipeline instead of cell-by-cell barriers.
+* **Streamed aggregation** -- batch results fold into a
+  :class:`~repro.experiments.metrics.MetricsAccumulator` as they arrive
+  and are discarded (unless ``keep_per_user=True``), so the parent holds
+  at most the out-of-order frontier, never a 10k-user outcome list.
+
+Determinism: every user's simulation is seeded independently of
+scheduling order (see ``_stream_seed`` in the runner), and the parent
+folds outcomes in the *canonical sequential user order* regardless of
+batch completion order -- float summation order is preserved, so
+aggregates and per-user delivery digests are bit-identical to
+:func:`repro.experiments.runner.run_experiment`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.presentations import build_audio_ladder
+from repro.experiments.config import ExperimentConfig, MethodSpec
+from repro.experiments.metrics import FailureStats, MetricsAccumulator
+from repro.experiments.runner import (
+    CellSummary,
+    ExperimentResult,
+    UserRunOutcome,
+    UtilityAnnotations,
+    run_user,
+)
+from repro.experiments.shards import balanced_batches, shard_by_user
+from repro.experiments.timing import StageTimer, SweepTelemetry
+from repro.trace.generator import Workload
+from repro.trace.records import NotificationRecord
+
+__all__ = ["ExperimentPool", "sweep_budgets_parallel"]
+
+
+# -- worker side ---------------------------------------------------------------
+
+@dataclass
+class _WorkerState:
+    """Everything a worker holds for the lifetime of the pool."""
+
+    shards: dict[int, list[NotificationRecord]]
+    scores: dict[int, float]
+    duration_seconds: float
+
+
+_WORKER: _WorkerState | None = None
+
+
+def _init_worker(
+    shards: dict[int, list[NotificationRecord]],
+    scores: dict[int, float],
+    duration_seconds: float,
+) -> None:
+    """Pool initializer: receive the shared workload state exactly once."""
+    global _WORKER
+    _WORKER = _WorkerState(
+        shards=shards, scores=scores, duration_seconds=duration_seconds
+    )
+
+
+def _run_cell_batch(
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    user_ids: Sequence[int],
+    digest_deliveries: bool,
+) -> list[UserRunOutcome]:
+    """Replay one user batch of one cell against the worker-resident shards."""
+    state = _WORKER
+    if state is None:
+        raise RuntimeError(
+            "worker not initialized; _run_cell_batch must run inside an "
+            "ExperimentPool worker"
+        )
+    annotations = UtilityAnnotations(scores=state.scores)
+    ladder = build_audio_ladder(config.presentation_spec)
+    return [
+        run_user(
+            user_id,
+            state.shards[user_id],
+            spec,
+            config,
+            annotations,
+            state.duration_seconds,
+            ladder=ladder,
+            digest_deliveries=digest_deliveries,
+        )
+        for user_id in user_ids
+    ]
+
+
+# -- parent side ---------------------------------------------------------------
+
+class _CellState:
+    """Order-correcting streamed fold of one cell's batch results.
+
+    Workers complete batches in arbitrary order; this buffer holds only
+    the out-of-order frontier and folds each outcome the moment the
+    canonical sequential order reaches it, so float summation order --
+    and therefore the aggregate, bit for bit -- matches the sequential
+    runner.
+    """
+
+    def __init__(
+        self,
+        spec: MethodSpec,
+        config: ExperimentConfig,
+        user_order: Sequence[int],
+        keep_per_user: bool,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self._order = user_order
+        self._position = 0
+        self._pending: dict[int, UserRunOutcome] = {}
+        self._accumulator = MetricsAccumulator()
+        self._failures = FailureStats()
+        self._backlog_sum = 0.0
+        self._max_queue = 0
+        self._keep = keep_per_user
+        self.per_user: list[UserRunOutcome] = []
+
+    def add_batch(self, outcomes: Sequence[UserRunOutcome]) -> None:
+        for outcome in outcomes:
+            self._pending[outcome.metrics.user_id] = outcome
+        while (
+            self._position < len(self._order)
+            and self._order[self._position] in self._pending
+        ):
+            outcome = self._pending.pop(self._order[self._position])
+            self._position += 1
+            self._accumulator.add(outcome.metrics)
+            self._failures.merge(outcome.failures)
+            self._backlog_sum += outcome.mean_backlog_bytes
+            self._max_queue = max(self._max_queue, outcome.max_queue_length)
+            if self._keep:
+                self.per_user.append(outcome)
+
+    def result(self) -> ExperimentResult:
+        if self._position != len(self._order) or self._pending:
+            raise RuntimeError(
+                f"cell {self.spec.label!r} incomplete: folded "
+                f"{self._position}/{len(self._order)} users"
+            )
+        n = self._position
+        summary = CellSummary(
+            mean_backlog_bytes=self._backlog_sum / n if n else 0.0,
+            max_queue_length=self._max_queue,
+            failures=self._failures,
+        )
+        return ExperimentResult(
+            spec=self.spec,
+            config=self.config,
+            aggregate=self._accumulator.result(),
+            per_user=self.per_user,
+            summary=summary,
+        )
+
+
+class ExperimentPool:
+    """A persistent worker pool amortizing workload shipping over a sweep.
+
+    Construction trains (or adopts) the content-utility annotations,
+    shards the workload per user, partitions users into cost-balanced
+    batches and spins up the process pool -- shipping shards + scores to
+    each worker exactly once via the pool initializer.  Every subsequent
+    :meth:`run_cell` / :meth:`run_cells` call submits only
+    ``(spec, config, batch ids)`` tasks.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        annotations: UtilityAnnotations | None = None,
+        user_ids: Sequence[int] | None = None,
+        max_workers: int | None = None,
+        n_batches: int | None = None,
+        base_config: ExperimentConfig | None = None,
+        telemetry: SweepTelemetry | None = None,
+    ) -> None:
+        base_config = base_config or ExperimentConfig()
+        self.telemetry = telemetry
+        timer = telemetry.timer if telemetry is not None else StageTimer()
+        with timer.stage("train"):
+            if annotations is None:
+                annotations = UtilityAnnotations.train(
+                    workload,
+                    seed=base_config.seed,
+                    oracle=base_config.use_oracle_utility,
+                )
+        self.annotations = annotations
+        with timer.stage("shard"):
+            users = list(user_ids) if user_ids is not None else workload.user_ids()
+            by_user = shard_by_user(workload.records, users)
+            #: Canonical fold order == the sequential runner's user order.
+            self.sim_users = [u for u in users if by_user[u]]
+            if not self.sim_users:
+                raise ValueError("no users with notifications to simulate")
+            shards = {u: by_user[u] for u in self.sim_users}
+            counts = {u: len(shards[u]) for u in self.sim_users}
+            self.max_workers = max_workers or os.cpu_count() or 1
+            if n_batches is None:
+                # Oversubscribe so cost balancing has room to smooth
+                # stragglers without batches degenerating to single users.
+                n_batches = self.max_workers * 4
+            self.batches = balanced_batches(counts, n_batches)
+            self.duration_seconds = workload.config.duration_hours * 3600.0
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(shards, annotations.scores, self.duration_seconds),
+            )
+        if telemetry is not None:
+            telemetry.meta.update(
+                engine="ExperimentPool",
+                workers=self.max_workers,
+                batches=len(self.batches),
+                users=len(self.sim_users),
+                records=sum(counts.values()),
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def __enter__(self) -> "ExperimentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+    # -- introspection ---------------------------------------------------------
+
+    def cell_payload(
+        self,
+        spec: MethodSpec,
+        config: ExperimentConfig,
+        batch_index: int = 0,
+        digest_deliveries: bool = False,
+    ) -> bytes:
+        """The exact pickled argument payload one (cell, batch) task ships.
+
+        Exposed so benchmarks can assert the post-init process-boundary
+        cost: a registry key, a config and a tuple of user ids -- never
+        the notification records.
+        """
+        return pickle.dumps(
+            (spec, config, tuple(self.batches[batch_index]), digest_deliveries),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run_cell(
+        self,
+        spec: MethodSpec,
+        config: ExperimentConfig,
+        keep_per_user: bool = True,
+        digest_deliveries: bool = False,
+    ) -> ExperimentResult:
+        """Run one (policy, budget) cell on the resident shards."""
+        results = self.run_cells(
+            [(spec, config)],
+            keep_per_user=keep_per_user,
+            digest_deliveries=digest_deliveries,
+        )
+        return results[(spec.label, config.weekly_budget_mb)]
+
+    def run_cells(
+        self,
+        cells: Sequence[tuple[MethodSpec, ExperimentConfig]],
+        keep_per_user: bool = True,
+        digest_deliveries: bool = False,
+    ) -> dict[tuple[str, float], ExperimentResult]:
+        """Run many cells concurrently; all batches share one task queue.
+
+        Returns ``{(label, weekly_budget_mb): ExperimentResult}`` like
+        :func:`repro.experiments.runner.sweep_budgets`.
+        """
+        states: dict[tuple[str, float], _CellState] = {}
+        for spec, config in cells:
+            key = (spec.label, config.weekly_budget_mb)
+            if key in states:
+                raise ValueError(f"duplicate cell {key!r} in one submission")
+            states[key] = _CellState(
+                spec, config, self.sim_users, keep_per_user
+            )
+
+        started = time.perf_counter()
+        remaining: dict[tuple[str, float], int] = {}
+        future_to_key = {}
+        for spec, config in cells:
+            key = (spec.label, config.weekly_budget_mb)
+            remaining[key] = len(self.batches)
+            for batch in self.batches:
+                future = self._executor.submit(
+                    _run_cell_batch, spec, config, batch, digest_deliveries
+                )
+                future_to_key[future] = key
+
+        for future in as_completed(future_to_key):
+            key = future_to_key[future]
+            outcomes = future.result()
+            fold_start = time.perf_counter()
+            states[key].add_batch(outcomes)
+            fold_end = time.perf_counter()
+            remaining[key] -= 1
+            if self.telemetry is not None:
+                cell = self.telemetry.cell(*key)
+                cell.timer.add("aggregate", fold_end - fold_start)
+                if remaining[key] == 0:
+                    # Parent-observed latency of the cell's slowest batch;
+                    # concurrent cells overlap, so rows sum past wall time.
+                    cell.timer.add("simulate", fold_start - started)
+                    cell.users = len(self.sim_users)
+
+        return {key: state.result() for key, state in states.items()}
+
+
+def sweep_budgets_parallel(
+    workload: Workload,
+    specs: Sequence[MethodSpec],
+    budgets_mb: Sequence[float],
+    base_config: ExperimentConfig | None = None,
+    annotations: UtilityAnnotations | None = None,
+    user_ids: Sequence[int] | None = None,
+    *,
+    max_workers: int | None = None,
+    n_batches: int | None = None,
+    keep_per_user: bool = True,
+    telemetry: SweepTelemetry | None = None,
+) -> dict[tuple[str, float], ExperimentResult]:
+    """The Figures 3-5 grid on a shared pool, all cells in flight at once.
+
+    Drop-in parallel equivalent of
+    :func:`repro.experiments.runner.sweep_budgets`: same arguments, same
+    result mapping, bit-identical aggregates.  Pass a
+    :class:`~repro.experiments.timing.SweepTelemetry` to collect the
+    per-stage wall-clock rows of ``BENCH_sweep.json``.
+    """
+    base_config = base_config or ExperimentConfig()
+    with ExperimentPool(
+        workload,
+        annotations=annotations,
+        user_ids=user_ids,
+        max_workers=max_workers,
+        n_batches=n_batches,
+        base_config=base_config,
+        telemetry=telemetry,
+    ) as pool:
+        cells = [
+            (spec, base_config.with_budget(budget))
+            for budget in budgets_mb
+            for spec in specs
+        ]
+        return pool.run_cells(cells, keep_per_user=keep_per_user)

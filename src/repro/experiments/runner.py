@@ -14,6 +14,7 @@ of a sweep, exactly as a deployed model would be.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -33,6 +34,7 @@ from repro.experiments.metrics import (
     aggregate,
     compute_user_metrics,
 )
+from repro.experiments.shards import shard_by_user
 from repro.runtime import registry
 from repro.runtime.loop import RoundLoop
 from repro.runtime.types import Delivery
@@ -102,9 +104,10 @@ class UtilityAnnotations:
             )
 
         forest = _forest_factory(seed).fit(x, y)
-        all_features = np.asarray(
-            [extractor.features_for_record(r) for r in workload.records], dtype=float
-        )
+        # Vectorized scoring: one array pass over the whole workload
+        # (bit-identical to per-record extraction -- see
+        # repro.runtime.kernels.feature_matrix).
+        all_features = extractor.features_for_records(workload.records)
         probabilities = forest.predict_proba(all_features)[:, 1]
         scores = {
             record.notification_id: float(p)
@@ -115,12 +118,34 @@ class UtilityAnnotations:
 
 @dataclass
 class UserRunOutcome:
-    """One user's metrics plus queue-stability diagnostics."""
+    """One user's metrics plus queue-stability diagnostics.
+
+    ``delivery_digest`` is filled only on request (``run_user(...,
+    digest_deliveries=True)``): a SHA-256 over the user's realized
+    delivery sequence, used by parity tests to compare execution engines
+    without shipping the deliveries themselves across processes.
+    """
 
     metrics: UserMetrics
     mean_backlog_bytes: float
     max_queue_length: int
     final_queue_length: int
+    failures: FailureStats = field(default_factory=FailureStats)
+    delivery_digest: str | None = None
+
+
+@dataclass
+class CellSummary:
+    """Cross-user diagnostics of one cell, folded without the per-user list.
+
+    Produced by streaming executors (``keep_per_user=False`` on the
+    experiment pool) so :class:`ExperimentResult` keeps its backlog and
+    failure views even when the per-user outcomes were discarded as they
+    streamed back.
+    """
+
+    mean_backlog_bytes: float = 0.0
+    max_queue_length: int = 0
     failures: FailureStats = field(default_factory=FailureStats)
 
 
@@ -132,6 +157,7 @@ class ExperimentResult:
     config: ExperimentConfig
     aggregate: AggregateMetrics
     per_user: list[UserRunOutcome] = field(default_factory=list)
+    summary: CellSummary | None = None
 
     @property
     def label(self) -> str:
@@ -140,25 +166,66 @@ class ExperimentResult:
     @property
     def mean_backlog_bytes(self) -> float:
         if not self.per_user:
-            return 0.0
+            return self.summary.mean_backlog_bytes if self.summary else 0.0
         return sum(u.mean_backlog_bytes for u in self.per_user) / len(self.per_user)
 
     @property
     def failures(self) -> FailureStats:
         """Cross-user delivery-failure totals for this cell."""
+        if not self.per_user and self.summary is not None:
+            return self.summary.failures
         totals = FailureStats()
         for user in self.per_user:
             totals.merge(user.failures)
         return totals
 
 
-def _fault_stream_seed(seed: int, user_id: int) -> int:
-    """Stable per-user seed for fault/backoff randomness.
+def _stream_seed(seed: int, user_id: int, salt: int) -> int:
+    """Stable per-(user, purpose) seed from pure integer arithmetic.
 
-    Pure integer arithmetic -- ``hash()`` over strings is salted per
-    process and would break cross-process reproducibility.
+    ``hash()`` is salted per process for strings and its tuple mix is an
+    implementation detail that may change between Python versions; an
+    explicit mix keeps every RNG stream stable across interpreters and
+    processes by construction.  Distinct ``salt`` values keep the fault
+    and device streams decorrelated.
     """
-    return (seed * 1_000_003 + user_id * 7_919 + 13) & 0x7FFFFFFF
+    return (seed * 1_000_003 + user_id * 7_919 + salt) & 0x7FFFFFFF
+
+
+def _fault_stream_seed(seed: int, user_id: int) -> int:
+    """Stable per-user seed for fault/backoff randomness."""
+    return _stream_seed(seed, user_id, 13)
+
+
+def _device_stream_seed(seed: int, user_id: int) -> int:
+    """Stable per-user seed for connectivity/battery randomness."""
+    return _stream_seed(seed, user_id, 29)
+
+
+def delivery_digest(deliveries: Sequence[Delivery]) -> str:
+    """SHA-256 over a delivery sequence (the golden-parity fingerprint).
+
+    Hashes the exact fields the runtime-extraction golden tests pin:
+    time, user, item, level, size, energy and realized utility, in
+    delivery order.  Two engines that produce the same digest for every
+    user produced bit-identical delivery streams.
+    """
+    digest = hashlib.sha256()
+    for d in deliveries:
+        digest.update(
+            repr(
+                (
+                    d.time,
+                    d.user_id,
+                    d.item.item_id,
+                    d.level,
+                    d.size_bytes,
+                    d.energy_joules,
+                    d.utility,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
 
 
 def _build_delivery_engine(
@@ -203,7 +270,7 @@ def _build_scheduler(
 def _build_device(
     user_id: int, config: ExperimentConfig, duration_seconds: float
 ) -> MobileDevice:
-    seed = hash((config.seed, user_id)) & 0x7FFFFFFF
+    seed = _device_stream_seed(config.seed, user_id)
     if config.network_mode is NetworkMode.MARKOV:
         network = MarkovNetworkModel(rng=random.Random(seed))
     else:
@@ -228,9 +295,17 @@ def run_user(
     config: ExperimentConfig,
     annotations: UtilityAnnotations,
     duration_seconds: float,
+    ladder=None,
+    digest_deliveries: bool = False,
 ) -> UserRunOutcome:
-    """Replay one user's notification stream under one policy."""
-    ladder = build_audio_ladder(config.presentation_spec)
+    """Replay one user's notification stream under one policy.
+
+    ``ladder`` is the presentation ladder of ``config.presentation_spec``;
+    it is identical for every user of a cell, so cell-level callers build
+    it once and pass it in (``None`` rebuilds it, for standalone use).
+    """
+    if ladder is None:
+        ladder = build_audio_ladder(config.presentation_spec)
     items = []
     for record in records:
         item = record_to_item(record, ladder)
@@ -284,6 +359,7 @@ def run_user(
         max_queue_length=max(queue_samples, default=0),
         final_queue_length=queue_samples[-1] if queue_samples else 0,
         failures=failures,
+        delivery_digest=delivery_digest(deliveries) if digest_deliveries else None,
     )
 
 
@@ -301,10 +377,8 @@ def run_experiment(
         )
     duration_seconds = workload.config.duration_hours * 3600.0
     users = list(user_ids) if user_ids is not None else workload.user_ids()
-    by_user: dict[int, list[NotificationRecord]] = {u: [] for u in users}
-    for record in workload.records:
-        if record.recipient_id in by_user:
-            by_user[record.recipient_id].append(record)
+    by_user = shard_by_user(workload.records, users)
+    ladder = build_audio_ladder(config.presentation_spec)
 
     outcomes = []
     for user_id in users:
@@ -312,7 +386,10 @@ def run_experiment(
         if not records:
             continue
         outcomes.append(
-            run_user(user_id, records, spec, config, annotations, duration_seconds)
+            run_user(
+                user_id, records, spec, config, annotations, duration_seconds,
+                ladder=ladder,
+            )
         )
     if not outcomes:
         raise ValueError("no users with notifications to simulate")

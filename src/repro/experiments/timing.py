@@ -1,0 +1,127 @@
+"""Stage-timed benchmark telemetry for sweep-scale execution.
+
+The execution engine's stages -- ``train`` (content-utility classifier),
+``shard`` (per-user record partitioning + pool spin-up), ``simulate``
+(worker replay) and ``aggregate`` (parent-side folding) -- are timed with
+``time.perf_counter`` and collected into a :class:`SweepTelemetry` that
+serializes to the repo's machine-readable perf trajectory
+(``BENCH_sweep.json``).
+
+``perf_counter`` deliberately measures *host* wall-clock, not simulation
+time: telemetry lives outside the deterministic zone (it never feeds back
+into scheduling decisions), which is why this module is exempt from
+richlint's RL203 wall-clock rule by construction -- nothing here touches
+``time.time`` or the simulated ``now``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["CellTiming", "StageTimer", "SweepTelemetry"]
+
+#: Version tag of the BENCH_sweep.json layout.
+SCHEMA = "richnote-bench-sweep/1"
+
+
+class StageTimer:
+    """Accumulates named wall-clock stage durations (seconds).
+
+    Re-entering a stage name adds to its running total, so scattered
+    slices of the same logical stage (e.g. per-batch ``aggregate`` folds)
+    collapse into one number.
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into a stage total."""
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+
+@dataclass
+class CellTiming:
+    """Per-(policy, budget) cell timings of one sweep."""
+
+    label: str
+    budget_mb: float
+    users: int = 0
+    timer: StageTimer = field(default_factory=StageTimer)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "budget_mb": self.budget_mb,
+            "users": self.users,
+            "stages_s": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.timer.stages.items())
+            },
+        }
+
+
+class SweepTelemetry:
+    """Everything BENCH_sweep.json records about one sweep execution.
+
+    Sweep-level stages (``train``, ``shard``) happen once per sweep on the
+    shared pool; ``simulate`` and ``aggregate`` are recorded per cell.
+    ``meta`` carries free-form context (worker count, batch count, engine
+    name) set by the executor.
+    """
+
+    def __init__(self) -> None:
+        self.timer = StageTimer()
+        self.cells: dict[tuple[str, float], CellTiming] = {}
+        self.meta: dict = {}
+        self._wall_start = time.perf_counter()
+
+    def cell(self, label: str, budget_mb: float) -> CellTiming:
+        """The (created-on-demand) timing row of one grid cell."""
+        key = (label, budget_mb)
+        if key not in self.cells:
+            self.cells[key] = CellTiming(label=label, budget_mb=budget_mb)
+        return self.cells[key]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "platform": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "meta": dict(self.meta),
+            "stages_s": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.timer.stages.items())
+            },
+            "cells": [
+                self.cells[key].to_dict() for key in sorted(self.cells)
+            ],
+            "totals": {
+                "cells": len(self.cells),
+                "wall_s": round(time.perf_counter() - self._wall_start, 6),
+            },
+        }
+
+    def write(self, path) -> dict:
+        """Serialize to ``path`` (the ``BENCH_sweep.json`` artifact)."""
+        payload = self.to_dict()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return payload

@@ -24,7 +24,12 @@ import numpy as np
 
 from repro.core.content import ContentItem
 from repro.pubsub.topics import TopicKind
+from repro.runtime.kernels import feature_matrix
 from repro.trace.records import NotificationRecord
+
+#: Kind -> one-hot column code used by the batch kernel (the order of the
+#: ``kind_*`` entries in :data:`FEATURE_NAMES`).
+_KIND_CODES = {TopicKind.FRIEND: 0, TopicKind.ARTIST: 1, TopicKind.PLAYLIST: 2}
 
 #: Ordered feature names; the single source of truth for the layout.
 FEATURE_NAMES: tuple[str, ...] = (
@@ -60,6 +65,30 @@ class FeatureExtractor:
             artist_popularity=record.artist_popularity,
             timestamp=record.timestamp,
             kind=record.kind,
+        )
+
+    def features_for_records(
+        self, records: Sequence[NotificationRecord]
+    ) -> np.ndarray:
+        """Batch equivalent of :meth:`features_for_record`: one array pass.
+
+        Gathers the raw record columns in a single sweep and hands them to
+        :func:`repro.runtime.kernels.feature_matrix`; row ``i`` is
+        bit-identical to ``features_for_record(records[i])``.  This is the
+        scoring hot path -- annotating a whole workload goes through here
+        instead of building one Python list per record.
+        """
+        if not records:
+            return np.empty((0, self.n_features), dtype=np.float64)
+        return feature_matrix(
+            [r.tie_strength for r in records],
+            [r.is_friend for r in records],
+            [r.favorite_genre for r in records],
+            [r.track_popularity for r in records],
+            [r.album_popularity for r in records],
+            [r.artist_popularity for r in records],
+            [r.timestamp for r in records],
+            [_KIND_CODES[r.kind] for r in records],
         )
 
     def features_for_item(self, item: ContentItem) -> list[float]:
@@ -121,16 +150,11 @@ def build_training_set(
     records are labelled training data.
     """
     extractor = extractor or FeatureExtractor()
-    rows: list[list[float]] = []
-    labels: list[int] = []
-    for record in records:
-        if not record.attended:
-            continue
-        rows.append(extractor.features_for_record(record))
-        labels.append(int(record.clicked))
-    if not rows:
+    attended = [record for record in records if record.attended]
+    if not attended:
         raise ValueError("no attended records; cannot build a training set")
-    return np.asarray(rows, dtype=float), np.asarray(labels, dtype=int)
+    labels = [int(record.clicked) for record in attended]
+    return extractor.features_for_records(attended), np.asarray(labels, dtype=int)
 
 
 def class_balance(y) -> float:

@@ -15,7 +15,10 @@ per-round hot path allocates matrices instead of one object per
   two paths agree bit for bit;
 * :func:`greedy_select` / :func:`greedy_select_hull` -- Algorithm 1's
   utility-size-gradient greedy over row arrays, optionally behind the
-  LP-domination (convex hull) preprocessing of :func:`hull_levels`.
+  LP-domination (convex hull) preprocessing of :func:`hull_levels`;
+* :func:`feature_matrix` -- Section V-A's classifier feature layout for a
+  whole record batch in one array pass (the scoring hot path of
+  :meth:`repro.experiments.runner.UtilityAnnotations.train`).
 
 Layering contract (enforced by richlint RL601): this module imports
 nothing from the policy or orchestration layers -- only the standard
@@ -34,12 +37,58 @@ import numpy as np
 __all__ = [
     "combined_utility_matrix",
     "exp_decay_column",
+    "feature_matrix",
     "gradient",
     "greedy_select",
     "greedy_select_hull",
     "hull_levels",
     "lyapunov_adjusted_matrix",
 ]
+
+
+def feature_matrix(
+    tie_strengths: Sequence[float],
+    is_friend: Sequence[bool],
+    favorite_genre: Sequence[bool],
+    track_popularity: Sequence[int],
+    album_popularity: Sequence[int],
+    artist_popularity: Sequence[int],
+    timestamps: Sequence[float],
+    kind_codes: Sequence[int],
+) -> np.ndarray:
+    """Section V-A's classifier features for a whole batch in one pass.
+
+    Column layout matches :data:`repro.ml.dataset.FEATURE_NAMES`:
+    tie/friend/genre, three popularity scores normalized to [0, 1], three
+    timestamp features and a 3-wide one-hot of the publication kind
+    (``kind_codes``: 0 = friend feed, 1 = artist release, 2 = playlist).
+
+    Bit-identical to the scalar
+    :meth:`repro.ml.dataset.FeatureExtractor._vector` applied per row:
+    every op is an IEEE-754 double division, modulo or comparison, which
+    numpy and pure Python evaluate identically (for the modulo, both
+    follow the sign-of-divisor convention and timestamps are
+    non-negative).
+    """
+    n = len(timestamps)
+    out = np.empty((n, 12), dtype=np.float64)
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    hour = (timestamps / 3600.0) % 24.0
+    day = (timestamps // 86400.0) % 7.0
+    kinds = np.asarray(kind_codes, dtype=np.int64)
+    out[:, 0] = np.asarray(tie_strengths, dtype=np.float64)
+    out[:, 1] = np.asarray(is_friend, dtype=np.float64)
+    out[:, 2] = np.asarray(favorite_genre, dtype=np.float64)
+    out[:, 3] = np.asarray(track_popularity, dtype=np.float64) / 100.0
+    out[:, 4] = np.asarray(album_popularity, dtype=np.float64) / 100.0
+    out[:, 5] = np.asarray(artist_popularity, dtype=np.float64) / 100.0
+    out[:, 6] = hour / 24.0
+    out[:, 7] = day >= 5.0
+    out[:, 8] = (hour >= 22.0) | (hour < 6.0)
+    out[:, 9] = kinds == 0
+    out[:, 10] = kinds == 1
+    out[:, 11] = kinds == 2
+    return out
 
 
 def exp_decay_column(

@@ -74,6 +74,35 @@ class TestFeatureExtractor:
         item = record_to_item(r, build_audio_ladder())
         assert extractor.features_for_item(item) == extractor.features_for_record(r)
 
+    def test_batch_matrix_bit_identical_to_scalar_path(self):
+        """The vectorized scoring path reproduces per-record vectors exactly."""
+        extractor = FeatureExtractor()
+        records = [
+            record(
+                notification_id=i,
+                kind=list(TopicKind)[i % 3],
+                tie_strength=(i % 18) / 17.0,
+                is_friend=i % 2 == 0,
+                favorite_genre=i % 3 == 0,
+                track_popularity=(i * 7) % 101,
+                album_popularity=(i * 13) % 101,
+                artist_popularity=(i * 31) % 101,
+                timestamp=i * 5_417.3,  # crosses hour/day/weekend boundaries
+            )
+            for i in range(200)
+        ]
+        matrix = extractor.features_for_records(records)
+        assert matrix.shape == (200, extractor.n_features)
+        assert matrix.dtype == np.float64
+        scalar = np.asarray(
+            [extractor.features_for_record(r) for r in records], dtype=float
+        )
+        assert (matrix == scalar).all()
+
+    def test_batch_matrix_empty(self):
+        matrix = FeatureExtractor().features_for_records([])
+        assert matrix.shape == (0, len(FEATURE_NAMES))
+
     def test_item_missing_metadata_raises(self):
         from repro.core.content import ContentItem, ContentKind
 

@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_seven_walkthroughs(self):
-        assert len(python_blocks()) == 7
+    def test_has_eight_walkthroughs(self):
+        assert len(python_blocks()) == 8
 
     @pytest.mark.parametrize(
         "index,block",

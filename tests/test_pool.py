@@ -1,0 +1,243 @@
+"""Tests for the persistent sweep-scale execution engine.
+
+The contract under test (DESIGN.md §10): the pool is a pure performance
+optimization -- every aggregate, per-user outcome and delivery sequence
+must be bit-identical to the sequential runner, with only the workload
+shards and score map crossing the process boundary (once, at init).
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.metrics import MetricsAccumulator, aggregate
+from repro.experiments.pool import ExperimentPool, sweep_budgets_parallel
+from repro.experiments.runner import (
+    UtilityAnnotations,
+    run_experiment,
+    sweep_budgets,
+)
+from repro.experiments.shards import balanced_batches, shard_by_user
+from repro.experiments.timing import SweepTelemetry
+from repro.experiments.workloads import eval_workload
+
+ALL_SPECS = [
+    MethodSpec(Method.RICHNOTE),
+    MethodSpec(Method.FIFO, 2),
+    MethodSpec(Method.UTIL, 3),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return eval_workload("small")
+
+
+@pytest.fixture(scope="module")
+def annotations(workload):
+    return UtilityAnnotations.train(workload, seed=7)
+
+
+@pytest.fixture(scope="module")
+def users(workload):
+    return workload.top_users(6)
+
+
+@pytest.fixture(scope="module")
+def pool(workload, annotations, users):
+    with ExperimentPool(
+        workload, annotations=annotations, user_ids=users, max_workers=2
+    ) as shared:
+        yield shared
+
+
+class TestPoolParity:
+    """Parallel == sequential, bit for bit, for all three policies."""
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.label)
+    def test_cell_matches_sequential_exactly(
+        self, workload, annotations, users, pool, spec
+    ):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        sequential = run_experiment(workload, spec, config, annotations, users)
+        parallel = pool.run_cell(spec, config, digest_deliveries=True)
+
+        # Aggregates are equal as dataclasses: exact float equality.
+        assert parallel.aggregate == sequential.aggregate
+        # Per-user outcomes come back in the sequential fold order with
+        # identical metrics ...
+        assert [o.metrics.user_id for o in parallel.per_user] == [
+            o.metrics.user_id for o in sequential.per_user
+        ]
+        for mine, twin in zip(parallel.per_user, sequential.per_user):
+            assert mine.metrics == twin.metrics
+            assert mine.mean_backlog_bytes == twin.mean_backlog_bytes
+            assert mine.max_queue_length == twin.max_queue_length
+        # ... and every delivery *sequence* digests identically.
+        from repro.experiments.runner import run_user
+
+        by_user = shard_by_user(workload.records, users)
+        duration = workload.config.duration_hours * 3600.0
+        for outcome in parallel.per_user:
+            user_id = outcome.metrics.user_id
+            twin = run_user(
+                user_id, by_user[user_id], spec, config, annotations,
+                duration, digest_deliveries=True,
+            )
+            assert outcome.delivery_digest == twin.delivery_digest
+
+    def test_sweep_grid_matches_sequential(self, workload, annotations, users):
+        config = ExperimentConfig(seed=7)
+        budgets = (2.0, 10.0)
+        sequential = sweep_budgets(
+            workload, ALL_SPECS, budgets, config, annotations, users
+        )
+        parallel = sweep_budgets_parallel(
+            workload, ALL_SPECS, budgets, config, annotations, users,
+            max_workers=2,
+        )
+        assert set(parallel) == set(sequential)
+        for key in sequential:
+            assert parallel[key].aggregate == sequential[key].aggregate
+
+    def test_streaming_mode_keeps_summary_not_outcomes(
+        self, workload, annotations, users, pool
+    ):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        spec = MethodSpec(Method.RICHNOTE)
+        streamed = pool.run_cell(spec, config, keep_per_user=False)
+        kept = pool.run_cell(spec, config, keep_per_user=True)
+        assert streamed.per_user == []
+        assert streamed.aggregate == kept.aggregate
+        assert streamed.summary is not None
+        assert streamed.mean_backlog_bytes == kept.mean_backlog_bytes
+        assert streamed.failures.attempts == kept.failures.attempts
+
+
+class TestPoolBoundary:
+    """What crosses the process boundary after init: kilobytes, no records."""
+
+    def test_cell_payload_excludes_records(self, pool):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        payload = pool.cell_payload(MethodSpec(Method.RICHNOTE), config)
+        assert b"NotificationRecord" not in payload
+        assert b"trace.records" not in payload
+        assert len(payload) < 8_192
+
+    def test_no_simulatable_users_rejected(self, workload, annotations):
+        with pytest.raises(ValueError, match="no users"):
+            ExperimentPool(
+                workload, annotations=annotations, user_ids=[10**9]
+            )
+
+    def test_duplicate_cells_rejected(self, pool):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        spec = MethodSpec(Method.RICHNOTE)
+        with pytest.raises(ValueError, match="duplicate cell"):
+            pool.run_cells([(spec, config), (spec, config)])
+
+    def test_method_spec_and_config_pickle_roundtrip(self):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        spec = MethodSpec(Method.UTIL, fixed_level=3)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestBalancedBatches:
+    def test_partitions_completely_and_disjointly(self):
+        costs = {user: (user * 37) % 11 + 1 for user in range(100)}
+        batches = balanced_batches(costs, 7)
+        assert len(batches) == 7
+        flat = [user for batch in batches for user in batch]
+        assert sorted(flat) == sorted(costs)
+        assert len(flat) == len(set(flat))
+
+    def test_deterministic(self):
+        costs = {user: (user * 13) % 29 + 1 for user in range(50)}
+        assert balanced_batches(costs, 4) == balanced_batches(costs, 4)
+        # Insertion order of the mapping must not matter.
+        shuffled = dict(sorted(costs.items(), key=lambda kv: -kv[0]))
+        assert balanced_batches(shuffled, 4) == balanced_batches(costs, 4)
+
+    def test_balances_loads(self):
+        costs = {user: 1 for user in range(40)}
+        batches = balanced_batches(costs, 4)
+        assert [len(batch) for batch in batches] == [10, 10, 10, 10]
+        # One giant user does not drag equal-cost peers into its batch.
+        costs[99] = 1000
+        batches = balanced_batches(costs, 4)
+        giant = next(batch for batch in batches if 99 in batch)
+        assert giant == [99]
+
+    def test_more_batches_than_users_collapses(self):
+        assert balanced_batches({1: 5, 2: 3}, 10) == [[1], [2]]
+        assert balanced_batches({}, 3) == []
+
+    def test_invalid_batch_count(self):
+        with pytest.raises(ValueError, match="n_batches"):
+            balanced_batches({1: 1}, 0)
+
+
+class TestShardByUser:
+    def test_preserves_record_order_and_covers_all_users(self, workload):
+        users = workload.top_users(5)
+        shards = shard_by_user(workload.records, users)
+        assert set(shards) == set(users)
+        for user_id, records in shards.items():
+            assert records == workload.records_for_user(user_id)
+            times = [r.timestamp for r in records]
+            assert times == sorted(times)
+
+    def test_requested_user_without_records_gets_empty_shard(self, workload):
+        shards = shard_by_user(workload.records, [10**9])
+        assert shards == {10**9: []}
+
+
+class TestMetricsAccumulator:
+    def test_streaming_fold_equals_batch_aggregate(
+        self, workload, annotations, users
+    ):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        result = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        accumulator = MetricsAccumulator()
+        for outcome in result.per_user:
+            accumulator.add(outcome.metrics)
+        assert accumulator.result() == aggregate(
+            [o.metrics for o in result.per_user]
+        )
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(ValueError, match="no user metrics"):
+            MetricsAccumulator().result()
+
+
+class TestTelemetry:
+    def test_sweep_records_stages_and_cells(
+        self, workload, annotations, users, tmp_path
+    ):
+        telemetry = SweepTelemetry()
+        sweep_budgets_parallel(
+            workload,
+            [MethodSpec(Method.RICHNOTE)],
+            (5.0,),
+            ExperimentConfig(seed=7),
+            annotations,
+            users,
+            max_workers=2,
+            keep_per_user=False,
+            telemetry=telemetry,
+        )
+        payload = telemetry.write(tmp_path / "BENCH_sweep.json")
+        assert payload["schema"] == "richnote-bench-sweep/1"
+        assert set(payload["stages_s"]) == {"train", "shard"}
+        assert payload["meta"]["engine"] == "ExperimentPool"
+        assert payload["meta"]["workers"] == 2
+        [cell] = payload["cells"]
+        assert cell["label"] == "RichNote"
+        assert cell["budget_mb"] == 5.0
+        assert set(cell["stages_s"]) == {"simulate", "aggregate"}
+        assert cell["stages_s"]["simulate"] > 0.0
+        assert (tmp_path / "BENCH_sweep.json").exists()
