@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint analyze bench bench-sweep artifacts examples clean
+.PHONY: install test chaos lint analyze bench bench-sweep bench-service artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,6 +44,12 @@ bench:
 # multi-core) on a tiny grid; writes BENCH_sweep.json at the repo root.
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q -rs -s
+
+# Live-service gates (exact conservation under a flash crowd, queue
+# bound + TTL invariants, deterministic payload); writes
+# BENCH_service.json at the repo root.
+bench-service:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_service.py -q -rs -s
 
 # Regenerate every figure artifact from a fresh synthetic trace.
 artifacts:

@@ -1,0 +1,125 @@
+"""Benchmark: the live notification service under a flash crowd.
+
+Three gates pin the service's overload contract (ISSUE 6):
+
+* **Conservation** -- every ingested item is accounted for exactly once
+  across delivered / shed / dead-lettered / deferred / pending; the
+  ledger's ``conservation_error`` is zero even while the degradation
+  ladder is escalating and sinks are failing.
+* **Bounded behaviour** -- per-user queues never exceed their configured
+  bound (high-water mark is tracked across every drain), and delivery
+  latency stays under the item TTL: overload degrades delivery, it never
+  degrades latency into silent staleness.
+* **Determinism** -- two runs with the same :class:`DemoConfig` produce
+  bit-identical payloads once wall-clock and platform fields are masked.
+
+Every run (re)writes ``BENCH_service.json`` at the repo root -- the
+machine-readable service-health trajectory that CI uploads as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.service.chaos import FlashCrowdConfig
+from repro.service.degrade import PressureLevel
+from repro.service.harness import DemoConfig, run_demo
+from repro.service.health import write_bench
+
+BENCH_OUT = Path(
+    os.environ.get(
+        "BENCH_SERVICE_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_service.json",
+    )
+)
+
+#: The gate scenario: a 12-minute session whose middle third is a flash
+#: crowd, sized so the ladder demonstrably escalates *and* recovers.
+GATE_CONFIG = DemoConfig(users=12, rounds=12)
+
+
+def _fingerprint(payload: dict) -> str:
+    """Canonical JSON with wall-clock / platform fields masked."""
+    doc = json.loads(json.dumps(payload))
+    doc.pop("platform", None)
+    throughput = doc.get("throughput", {})
+    for key in ("wall_seconds", "ingested_per_wall_s", "delivered_per_wall_s"):
+        throughput.pop(key, None)
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def demo_run():
+    return run_demo(GATE_CONFIG)
+
+
+def test_conservation_and_payload(demo_run):
+    """Ledger closes exactly; BENCH_service.json lands with the schema."""
+    payload = demo_run.payload
+    accounting = payload["accounting"]
+    assert accounting["error"] == 0
+    assert accounting["ingested"] == (
+        accounting["delivered"]
+        + accounting["shed"]
+        + accounting["dead_lettered"]
+        + accounting["deferred_pending"]
+        + accounting["pending"]
+    )
+    assert accounting["ingested"] > 0
+
+    out = write_bench(BENCH_OUT, payload)
+    written = json.loads(out.read_text(encoding="utf-8"))
+    assert written["schema"] == "richnote-bench-service/1"
+    assert written["meta"]["chaos"] == "flash-crowd"
+    assert {"throughput", "latency_s", "accounting", "pressure", "sinks"} <= set(
+        written
+    )
+    print(f"\n# wrote {out} ({accounting['ingested']} ingested)")
+
+
+def test_queues_and_latency_stay_bounded(demo_run):
+    """Overload sheds explicitly: bounds and TTL hold through the crowd."""
+    service = demo_run.service
+    assert service.frontier.high_water() <= service.config.queue_bound
+    stats = service.stats
+    assert stats.delivered > 0
+    assert stats.shed > 0  # the crowd actually overflowed something
+    p99 = stats.latency_quantile(0.99)
+    assert 0.0 < p99 <= GATE_CONFIG.ttl_seconds
+
+
+def test_ladder_escalates_and_recovers(demo_run):
+    controller = demo_run.service.controller
+    assert controller.max_level >= PressureLevel.DEFER
+    assert controller.level is PressureLevel.NORMAL
+    assert demo_run.service.stats.readmitted > 0
+
+
+def test_payload_deterministic_across_runs(demo_run):
+    twin = run_demo(GATE_CONFIG)
+    assert _fingerprint(twin.payload) == _fingerprint(demo_run.payload)
+
+
+def test_quiet_scenario_never_degrades():
+    """Without the crowd the ladder stays NORMAL and nothing is shed."""
+    config = DemoConfig(
+        users=6,
+        rounds=4,
+        chaos="none",
+        p_outage=0.0,
+        flash_crowd=FlashCrowdConfig(
+            n_users=6,
+            duration_seconds=4 * 60.0,
+            base_rate=0.5,
+            crowd_multiplier=1.0,
+        ),
+    )
+    run = run_demo(config)
+    assert run.service.controller.max_level is PressureLevel.NORMAL
+    assert run.payload["accounting"]["error"] == 0
+    assert run.service.stats.shed_queue_full == 0

@@ -26,6 +26,10 @@ Code       Name              What it catches
                              ``experiments/``)
 ``RL204``  set-iteration     iteration over a ``set`` in scheduling hot paths
                              (``core/``) -- set order is hash-randomized
+``RL205``  wallclock-duration  durations computed by differencing wall-clock
+                             reads (``time.time() - started``) anywhere; the
+                             wall clock steps under NTP/DST, so elapsed-time
+                             math needs ``time.monotonic()``
 ``RL301``  float-eq          ``==``/``!=`` on float-typed utility/budget
                              quantities (exact-zero guards are exempt)
 ``RL401``  mutable-default   mutable dataclass field defaults

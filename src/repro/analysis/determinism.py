@@ -18,6 +18,12 @@ schedules from fixed seeds.  Four rules guard that contract:
   str/object hashes are randomized per process, so iteration order -- and
   therefore tie-breaks in selection -- would differ between runs.
   Iterate a list, or ``sorted(...)`` the set first.
+* ``RL205`` -- *durations* computed by differencing wall-clock reads
+  (``time.time() - started``), anywhere in the tree.  The wall clock
+  steps under NTP corrections and DST changes, so elapsed-time math must
+  use ``time.monotonic()`` / ``time.perf_counter()`` (or the service's
+  ``Clock`` abstraction) instead.  Unlike RL203 this rule is unscoped:
+  a latency measurement is wrong in *any* layer.
 """
 
 from __future__ import annotations
@@ -134,6 +140,70 @@ class WallClockRule(Rule):
                     f"{target}() reads the wall clock inside a deterministic "
                     "zone; use simulation time (the `now` parameter) instead",
                 )
+
+
+class WallClockDurationRule(Rule):
+    code = "RL205"
+    name = "wallclock-duration"
+    summary = "duration computed by differencing the wall clock"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+
+        def is_wallclock_call(node: ast.expr) -> bool:
+            return (
+                isinstance(node, ast.Call)
+                and resolve_call_target(node, imports) in _WALLCLOCK
+            )
+
+        for _, body in _scopes(module.tree):
+            statements = [
+                statement
+                for statement in body
+                if not isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            ]
+            # Pass 1: names bound to a wall-clock read in this scope.
+            wall_names: set[str] = set()
+            for statement in statements:
+                for node in _walk_same_scope(statement):
+                    if isinstance(node, ast.Assign) and is_wallclock_call(
+                        node.value
+                    ):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                wall_names.add(target.id)
+                    elif (
+                        isinstance(node, ast.AnnAssign)
+                        and isinstance(node.target, ast.Name)
+                        and node.value is not None
+                        and is_wallclock_call(node.value)
+                    ):
+                        wall_names.add(node.target.id)
+            # Pass 2: any subtraction touching a wall-clock read or one of
+            # those names is duration math on a steppable clock.
+            for statement in statements:
+                for node in _walk_same_scope(statement):
+                    if not (
+                        isinstance(node, ast.BinOp)
+                        and isinstance(node.op, ast.Sub)
+                    ):
+                        continue
+                    for operand in (node.left, node.right):
+                        if is_wallclock_call(operand) or (
+                            isinstance(operand, ast.Name)
+                            and operand.id in wall_names
+                        ):
+                            yield self.finding(
+                                module,
+                                node,
+                                "duration computed from the wall clock, "
+                                "which steps under NTP/DST; use "
+                                "time.monotonic() or time.perf_counter() "
+                                "for elapsed-time math",
+                            )
+                            break
 
 
 class _SetNameCollector(ast.NodeVisitor):

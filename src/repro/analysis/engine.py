@@ -144,6 +144,7 @@ def default_rules() -> list[Rule]:
         GlobalRngRule,
         SetIterationRule,
         UnseededRngRule,
+        WallClockDurationRule,
         WallClockRule,
     )
     from repro.analysis.floats import FloatEqualityRule
@@ -157,6 +158,7 @@ def default_rules() -> list[Rule]:
         UnseededRngRule(),
         WallClockRule(),
         SetIterationRule(),
+        WallClockDurationRule(),
         FloatEqualityRule(),
         MutableDefaultRule(),
         UnfrozenKeyRule(),

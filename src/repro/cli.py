@@ -9,6 +9,7 @@ Subcommands::
     richnote sweep           --trace trace.jsonl --budgets 1,5,20,100
     richnote figures         --trace trace.jsonl --out artifacts/
     richnote survey
+    richnote serve           --rounds 3 --chaos flash-crowd
     richnote lint            src/repro --warn-only
 
 ``generate-trace`` synthesizes a labelled Spotify-like notification trace
@@ -243,6 +244,61 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live notification service for a bounded chaos session.
+
+    Builds the self-contained harness (seeded devices, flash-crowd
+    ingress, flaky egress), runs ``--rounds`` round periods on a
+    simulated clock and prints the health ledger; ``--bench-out`` also
+    writes the ``BENCH_service.json`` payload.
+    """
+    from repro.service.harness import DemoConfig, run_demo
+    from repro.service.health import write_bench
+
+    config = DemoConfig(
+        users=args.users,
+        rounds=args.rounds,
+        round_seconds=args.round_seconds,
+        queue_bound=args.queue_bound,
+        seed=args.seed,
+        policy=args.policy,
+        chaos=args.chaos,
+        sink_fail=args.sink_fail,
+        p_outage=args.outage,
+    )
+    run = run_demo(config)
+    accounting = run.payload["accounting"]
+    throughput = run.payload["throughput"]
+    latency = run.payload["latency_s"]
+    pressure = run.payload["pressure"]
+    print(
+        f"served {config.users} users x {config.rounds} rounds "
+        f"({config.round_seconds:g}s each), chaos={config.chaos}"
+    )
+    print(
+        f"  ingested={accounting['ingested']} delivered={accounting['delivered']} "
+        f"shed={accounting['shed']} deferred_pending={accounting['deferred_pending']} "
+        f"dead_lettered={accounting['dead_lettered']} pending={accounting['pending']}"
+    )
+    print(
+        f"  latency p50={latency['p50']:.1f}s p99={latency['p99']:.1f}s "
+        f"({latency['count']} delivered); "
+        f"{throughput['delivered_per_simulated_s']:.2f} delivered/sim-s"
+    )
+    print(
+        f"  pressure max={pressure['max_level']} final={pressure['final_level']} "
+        f"({len(pressure['transitions'])} transitions); "
+        f"queue high-water {run.service.frontier.high_water()}"
+        f"/{config.queue_bound}"
+    )
+    error = accounting["error"]
+    print(f"  conservation error: {error}")
+    if args.bench_out:
+        out = write_bench(args.bench_out, run.payload)
+        print(f"wrote {out}")
+    return 0 if error == 0 else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run richlint, the repo's domain-invariant analyzer.
 
@@ -333,6 +389,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     survey.add_argument("--respondents", type=int, default=80)
     survey.set_defaults(handler=cmd_survey)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the live notification service (bounded chaos session)",
+    )
+    serve.add_argument("--users", type=int, default=16)
+    serve.add_argument("--rounds", type=int, default=6)
+    serve.add_argument(
+        "--round-seconds", type=float, default=60.0, dest="round_seconds"
+    )
+    serve.add_argument(
+        "--queue-bound", type=int, default=16, dest="queue_bound"
+    )
+    serve.add_argument("--policy", default="richnote")
+    serve.add_argument(
+        "--chaos", default="flash-crowd", choices=("none", "flash-crowd")
+    )
+    serve.add_argument(
+        "--sink-fail",
+        type=float,
+        default=0.10,
+        dest="sink_fail",
+        help="probability an egress delivery attempt fails",
+    )
+    serve.add_argument(
+        "--outage",
+        type=float,
+        default=0.10,
+        help="per-round probability a connected device is forced offline",
+    )
+    serve.add_argument(
+        "--bench-out",
+        default="",
+        dest="bench_out",
+        help="write BENCH_service.json payload here",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     lint = commands.add_parser(
         "lint",

@@ -38,7 +38,8 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -234,10 +235,15 @@ class ExperimentPool:
                 n_batches = self.max_workers * 4
             self.batches = balanced_batches(counts, n_batches)
             self.duration_seconds = workload.config.duration_hours * 3600.0
+            # Kept so a crashed pool can be rebuilt mid-sweep without the
+            # parent re-sharding; the payload never leaves this process
+            # except through a pool initializer.
+            self._initargs = (shards, annotations.scores, self.duration_seconds)
+            self.worker_restarts = 0
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_worker,
-                initargs=(shards, annotations.scores, self.duration_seconds),
+                initargs=self._initargs,
             )
         if telemetry is not None:
             telemetry.meta.update(
@@ -246,6 +252,7 @@ class ExperimentPool:
                 batches=len(self.batches),
                 users=len(self.sim_users),
                 records=sum(counts.values()),
+                worker_restarts=0,
             )
 
     # -- lifecycle -------------------------------------------------------------
@@ -258,6 +265,23 @@ class ExperimentPool:
 
     def shutdown(self) -> None:
         self._executor.shutdown()
+
+    def _rebuild_executor(self) -> None:
+        """Replace a broken pool with a fresh one from the resident payload.
+
+        A worker killed by the OS (OOM, SIGKILL, segfault in a C
+        extension) poisons the whole ``ProcessPoolExecutor``: every
+        outstanding future raises ``BrokenProcessPool`` and the executor
+        refuses new work.  The shards and scores still live in the
+        parent, so recovery is just a new pool + re-initialization.
+        """
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_init_worker,
+            initargs=self._initargs,
+        )
+        self.worker_restarts += 1
 
     # -- introspection ---------------------------------------------------------
 
@@ -318,32 +342,59 @@ class ExperimentPool:
 
         started = time.perf_counter()
         remaining: dict[tuple[str, float], int] = {}
-        future_to_key = {}
+        tasks = []
         for spec, config in cells:
             key = (spec.label, config.weekly_budget_mb)
             remaining[key] = len(self.batches)
             for batch in self.batches:
-                future = self._executor.submit(
-                    _run_cell_batch, spec, config, batch, digest_deliveries
-                )
-                future_to_key[future] = key
+                tasks.append((key, spec, config, batch))
 
-        for future in as_completed(future_to_key):
-            key = future_to_key[future]
-            outcomes = future.result()
-            fold_start = time.perf_counter()
-            states[key].add_batch(outcomes)
-            fold_end = time.perf_counter()
-            remaining[key] -= 1
-            if self.telemetry is not None:
-                cell = self.telemetry.cell(*key)
-                cell.timer.add("aggregate", fold_end - fold_start)
-                if remaining[key] == 0:
-                    # Parent-observed latency of the cell's slowest batch;
-                    # concurrent cells overlap, so rows sum past wall time.
-                    cell.timer.add("simulate", fold_start - started)
-                    cell.users = len(self.sim_users)
+        def submit(task):
+            _, spec, config, batch = task
+            return self._executor.submit(
+                _run_cell_batch, spec, config, batch, digest_deliveries
+            )
 
+        pending = {submit(task): task for task in tasks}
+        restarts_this_run = 0
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                try:
+                    outcomes = future.result()
+                except BrokenProcessPool:
+                    # A worker died mid-batch, poisoning every in-flight
+                    # future.  Rebuild the pool once per run and resubmit
+                    # the failed batch plus everything still outstanding
+                    # (batches are idempotent replays of resident shards,
+                    # so a retry folds identically).  A second break in
+                    # the same run propagates: the workload itself is
+                    # crashing workers, not a transient kill.
+                    if restarts_this_run >= 1:
+                        raise
+                    restarts_this_run += 1
+                    retry = [task, *pending.values()]
+                    self._rebuild_executor()
+                    pending = {submit(t): t for t in retry}
+                    break
+                key = task[0]
+                fold_start = time.perf_counter()
+                states[key].add_batch(outcomes)
+                fold_end = time.perf_counter()
+                remaining[key] -= 1
+                if self.telemetry is not None:
+                    cell = self.telemetry.cell(*key)
+                    cell.timer.add("aggregate", fold_end - fold_start)
+                    if remaining[key] == 0:
+                        # Parent-observed latency of the cell's slowest
+                        # batch; concurrent cells overlap, so rows sum
+                        # past wall time.
+                        cell.timer.add("simulate", fold_start - started)
+                        cell.users = len(self.sim_users)
+
+        if self.telemetry is not None:
+            self.telemetry.meta["worker_restarts"] = self.worker_restarts
         return {key: state.result() for key, state in states.items()}
 
 

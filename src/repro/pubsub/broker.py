@@ -104,14 +104,25 @@ class CircuitBreakerConfig:
             raise ValueError("cooldown_skips must be >= 1")
 
 
-class _SinkCircuit:
-    """Breaker state machine guarding one sink."""
+class SinkCircuit:
+    """Breaker state machine guarding one sink.
+
+    HALF_OPEN admits exactly one probe per window: ``allow()`` marks a
+    probe in flight, and until :meth:`record_success` /
+    :meth:`record_failure` resolves it every further ``allow()`` is
+    refused.  With the broker's synchronous emit path the probe resolves
+    before the next ``allow()``, but async adapters
+    (:mod:`repro.service.sinks`) hold deliveries in flight across awaits
+    -- without the in-flight latch a thundering herd of concurrent probes
+    would all pass through a half-open breaker at once.
+    """
 
     def __init__(self, config: CircuitBreakerConfig) -> None:
         self.config = config
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self._skips_remaining = 0
+        self._probe_in_flight = False
 
     def allow(self) -> tuple[bool, bool]:
         """(may the sink be called, did the state transition)."""
@@ -120,11 +131,18 @@ class _SinkCircuit:
                 self._skips_remaining -= 1
                 return False, False
             self.state = BreakerState.HALF_OPEN
+            self._probe_in_flight = True
             return True, True
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probe_in_flight:
+                return False, False
+            self._probe_in_flight = True
+            return True, False
         return True, False
 
     def record_success(self) -> bool:
         """Returns True when the breaker transitioned (re-closed)."""
+        self._probe_in_flight = False
         self.consecutive_failures = 0
         if self.state is not BreakerState.CLOSED:
             self.state = BreakerState.CLOSED
@@ -133,6 +151,7 @@ class _SinkCircuit:
 
     def record_failure(self) -> bool:
         """Returns True when the breaker transitioned (opened)."""
+        self._probe_in_flight = False
         self.consecutive_failures += 1
         should_open = (
             self.state is BreakerState.HALF_OPEN
@@ -143,6 +162,10 @@ class _SinkCircuit:
             self._skips_remaining = self.config.cooldown_skips
             return True
         return False
+
+
+#: Backwards-compatible private alias (pre-service name).
+_SinkCircuit = SinkCircuit
 
 
 class Broker:
@@ -165,7 +188,7 @@ class Broker:
         self._mode_overrides = dict(mode_overrides or {})
         self._pending: list[Notification] = []
         self._sinks: list[NotificationSink] = []
-        self._circuits: list[_SinkCircuit] = []
+        self._circuits: list[SinkCircuit] = []
         self._breaker_config = breaker or CircuitBreakerConfig()
         self._ids = itertools.count()
         self.stats = BrokerStats()
@@ -173,7 +196,7 @@ class Broker:
     def add_sink(self, sink: NotificationSink) -> None:
         """Register a consumer for released notifications."""
         self._sinks.append(sink)
-        self._circuits.append(_SinkCircuit(self._breaker_config))
+        self._circuits.append(SinkCircuit(self._breaker_config))
 
     def breaker_states(self) -> list[BreakerState]:
         """Current breaker state per registered sink (diagnostics)."""

@@ -29,7 +29,7 @@ pre-runtime ``RoundBasedScheduler`` exposed, kept working on purpose).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
     from repro.core.delivery import DeliveryEngine
@@ -96,6 +96,12 @@ class RoundLoop:
         self._scheduling: list[ContentItem] = []
         self._round_index = 0
         self.total_dropped = 0
+        #: Orchestration hook (:mod:`repro.service`): when set, selections
+        #: are capped at this presentation level (floored at level 1, so
+        #: items still deliver as metadata-only).  ``None`` -- the default,
+        #: and the paper's behaviour -- leaves selections untouched.
+        self.level_cap: int | None = None
+        self._observers: list[Callable[["RoundLoop", RoundResult], None]] = []
         self.policy: SchedulerPolicy | None = None
         if policy is not None:
             self.bind_policy(policy)
@@ -112,6 +118,14 @@ class RoundLoop:
         attach = getattr(policy, "attach", None)
         if attach is not None:
             attach(self)
+
+    def add_observer(
+        self, observer: Callable[["RoundLoop", RoundResult], None]
+    ) -> None:
+        """Register a callback invoked with ``(loop, result)`` after every
+        round -- the seam health monitors and the live service use to watch
+        a fleet without subclassing the loop."""
+        self._observers.append(observer)
 
     # -- queue management -----------------------------------------------------
 
@@ -204,6 +218,8 @@ class RoundLoop:
         after_round = getattr(self.policy, "after_round", None)
         if after_round is not None:
             after_round(self, result)
+        for observer in self._observers:
+            observer(self, result)
         return result
 
     def ingest_phase(self, state: RoundState) -> None:
@@ -241,6 +257,11 @@ class RoundLoop:
         capacity = self.device.round_capacity_bytes(state.round_seconds)
         state.effective_budget = int(min(self.data_budget.available, capacity))
         selected = self._select(now, state.effective_budget)
+        if self.level_cap is not None:
+            # Degradation ladder (service overload): shed rich-media levels
+            # first, keeping at least the metadata presentation (level 1).
+            cap = max(1, self.level_cap)
+            selected = [(item, min(level, cap)) for item, level in selected]
         if self.delivery_engine is not None:
             # Previously failed items may be capped at a degraded level.
             selected = self.delivery_engine.apply_level_caps(selected)

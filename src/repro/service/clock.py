@@ -1,0 +1,149 @@
+"""Service time sources: real monotonic time or deterministic virtual time.
+
+The service measures *durations* -- round periods, delivery timeouts,
+retry backoffs, end-to-end latency -- so it must never read the wall
+clock: NTP steps and DST jumps would corrupt every interval (richlint
+RL205).  :class:`MonotonicClock` wraps ``time.monotonic`` for live runs.
+
+Tests and chaos scenarios need the opposite of real time: a clock the
+test *drives*.  :class:`SimulatedClock` keeps a heap of sleepers and
+advances only when told to, so a 10-minute flash crowd replays in
+milliseconds and every interleaving is reproducible.  Timeout races
+(:mod:`repro.service.sinks`) are built on ``Clock.sleep`` rather than
+``asyncio.wait_for`` precisely so they stay on virtual time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import Awaitable, Protocol
+
+
+class Clock(Protocol):
+    """Minimal time source: a monotonic ``now`` and an awaitable sleep."""
+
+    def now(self) -> float: ...  # pragma: no cover - protocol
+
+    async def sleep(self, seconds: float) -> None: ...  # pragma: no cover
+
+
+class MonotonicClock:
+    """Live clock: ``time.monotonic`` + ``asyncio.sleep``.
+
+    Monotonic by construction -- immune to NTP/DST wall-clock steps, the
+    only safe base for duration math (richlint RL205).
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(max(0.0, seconds))
+
+
+class SimulatedClock:
+    """Deterministic virtual time for service tests and chaos replays.
+
+    ``sleep`` parks the caller on a heap keyed by wake time (with an
+    insertion sequence for FIFO tie-breaks -- no hash-order in wakeups);
+    :meth:`advance` and :meth:`drive` pop sleepers and resolve them in
+    deterministic order while repeatedly yielding to the event loop so
+    woken coroutines run to their next await.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._seq = itertools.count()
+        self._sleepers: list[tuple[float, int, asyncio.Future]] = []
+
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending_sleepers(self) -> int:
+        """Sleepers currently parked (diagnostics)."""
+        return sum(1 for _, _, f in self._sleepers if not f.done())
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        heapq.heappush(
+            self._sleepers, (self._now + seconds, next(self._seq), future)
+        )
+        await future
+
+    async def advance(self, seconds: float) -> None:
+        """Move virtual time forward, waking every sleeper that comes due.
+
+        Yields to the event loop between wakeups so chains of awaits
+        (timer fires -> round runs -> sink races) settle in order; after
+        the last due sleeper it keeps yielding until the loop quiesces,
+        then pins ``now`` to the target.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        target = self._now + seconds
+        idle = 0
+        while True:
+            await asyncio.sleep(0)
+            if self._sleepers and self._sleepers[0][0] <= target + 1e-12:
+                wake, _, future = heapq.heappop(self._sleepers)
+                if not future.done():  # skip cancelled timeout races
+                    self._now = max(self._now, wake)
+                    future.set_result(None)
+                idle = 0
+                continue
+            idle += 1
+            if idle >= 50:
+                break
+        self._now = target
+
+    #: Consecutive event-loop yields granted between sleeper wakeups so
+    #: await chains (timer fires -> race settles -> cancellation lands)
+    #: run to quiescence before virtual time moves again.  Popping after
+    #: a single yield would let time jump *ahead of causality*: a 120s
+    #: sleeper could resolve before a 5s timeout race finished settling.
+    _settle_yields = 10
+
+    async def drive(self, awaitable: Awaitable, max_idle_yields: int = 100_000):
+        """Run ``awaitable`` to completion, advancing time as far as needed.
+
+        The canonical way to run a bounded service session on virtual
+        time: wraps the awaitable in a task, then alternates between
+        letting the event loop settle and firing the earliest sleeper,
+        until the task finishes.  Raises if the task is still pending
+        with no sleepers left after ``max_idle_yields`` consecutive idle
+        yields (a genuine deadlock, not a timing artifact).
+        """
+        task = asyncio.ensure_future(awaitable)
+        idle = 0
+        settle = 0
+        while not task.done():
+            await asyncio.sleep(0)
+            if task.done():
+                break
+            if self._sleepers:
+                idle = 0
+                if settle < self._settle_yields:
+                    settle += 1
+                    continue
+                settle = 0
+                wake, _, future = heapq.heappop(self._sleepers)
+                if not future.done():  # skip cancelled timeout races
+                    self._now = max(self._now, wake)
+                    future.set_result(None)
+            else:
+                settle = 0
+                idle += 1
+                if idle > max_idle_yields:
+                    task.cancel()
+                    raise RuntimeError(
+                        "simulated clock stalled: task pending with no "
+                        "sleepers to wake"
+                    )
+        return task.result()

@@ -1,0 +1,411 @@
+""":class:`NotificationService`: the live ingest -> schedule -> deliver loop.
+
+One service instance owns, per Section IV's deployment shape:
+
+* an :class:`~repro.service.queues.IngestFrontier` of bounded per-user
+  queues fed by :meth:`NotificationService.ingest` (which answers every
+  offer with an explicit :class:`~repro.service.queues.IngestResult`);
+* a :class:`~repro.service.ratelimit.TieredRateLimiter` gating admission
+  at global / per-user / per-topic granularity;
+* per-user :class:`~repro.runtime.loop.RoundLoop` instances fired by
+  staggered :class:`~repro.service.timers.RoundTimers` -- the *same*
+  selection machinery the batch experiments replay, now running live;
+* :class:`~repro.service.sinks.GuardedSink` egress adapters (timeouts,
+  jittered retries, circuit breakers);
+* a :class:`~repro.service.degrade.DegradationController` that watches
+  queue pressure and egress health and walks the overload ladder:
+  rich-media level caps, then ingest deferral, then shedding -- and back
+  down again as pressure clears.
+
+The scheduler is a single asyncio task: it sleeps on the service clock
+until the next round deadline, drains due users' queues into their
+loops, runs the rounds, pushes deliveries through the sinks, and updates
+the pressure controller.  All state mutation happens on the event loop
+-- no locks, deterministic under the simulated clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.content import ContentItem
+from repro.pubsub.broker import BreakerState, CircuitBreakerConfig
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import Delivery
+from repro.service.clock import Clock, MonotonicClock
+from repro.service.degrade import DegradationConfig, DegradationController
+from repro.service.health import HealthSnapshot, ServiceStats
+from repro.service.queues import (
+    Admission,
+    IngestFrontier,
+    IngestResult,
+    QueuedEvent,
+)
+from repro.service.ratelimit import RateLimitConfig, TieredRateLimiter
+from repro.service.sinks import DeliverySink, GuardedSink, SinkPolicy
+from repro.service.timers import RoundTimers
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning for one service instance."""
+
+    round_seconds: float = 60.0
+    queue_bound: int = 32
+    deferred_bound: int = 256
+    #: Deferred events re-admitted per scheduler tick once pressure clears.
+    readmit_per_tick: int = 32
+    seed: int = 23
+    rate: RateLimitConfig = field(default_factory=RateLimitConfig)
+    degradation: DegradationConfig = field(default_factory=DegradationConfig)
+    sink_policy: SinkPolicy = field(default_factory=SinkPolicy)
+    breaker: CircuitBreakerConfig = field(default_factory=CircuitBreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        if self.queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        if self.deferred_bound < 0:
+            raise ValueError("deferred_bound must be >= 0")
+        if self.readmit_per_tick < 1:
+            raise ValueError("readmit_per_tick must be >= 1")
+
+
+class NotificationService:
+    """The continuously running notification pipeline."""
+
+    def __init__(
+        self,
+        loop_factory: Callable[[int], RoundLoop],
+        user_ids: Sequence[int],
+        config: ServiceConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if not user_ids:
+            raise ValueError("service needs at least one user")
+        self.config = config or ServiceConfig()
+        self.clock = clock or MonotonicClock()
+        self.stats = ServiceStats()
+        self.controller = DegradationController(self.config.degradation)
+        self.frontier = IngestFrontier(self.config.queue_bound)
+        self.limiter = TieredRateLimiter(self.config.rate, self.clock.now())
+        self.timers = RoundTimers(
+            self.config.round_seconds, seed=self.config.seed
+        )
+        self.sinks: list[GuardedSink] = []
+        self._loop_factory = loop_factory
+        self._loops: dict[int, RoundLoop] = {}
+        self._user_ids = sorted(set(user_ids))
+        #: Deferred buffer: events parked while the ladder is at DEFER.
+        self._deferred: list[QueuedEvent] = []
+        #: item_id -> ingest time, for end-to-end latency + conservation.
+        self._inflight: dict[int, float] = {}
+        #: In-flight egress batches; settled before :meth:`run` returns.
+        self._delivery_tasks: list[asyncio.Task] = []
+        self._stop_requested = False
+        self._started = False
+        for user_id in self._user_ids:
+            self.frontier.register(user_id)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def add_sink(
+        self,
+        sink: DeliverySink,
+        name: str | None = None,
+        policy: SinkPolicy | None = None,
+        breaker: CircuitBreakerConfig | None = None,
+    ) -> GuardedSink:
+        """Register an egress sink behind timeout/retry/breaker guards."""
+        index = len(self.sinks)
+        guarded = GuardedSink(
+            sink,
+            clock=self.clock,
+            rng=random.Random(self.config.seed * 1_000_003 + 97 * index + 41),
+            policy=policy or self.config.sink_policy,
+            breaker=breaker or self.config.breaker,
+            name=name or f"sink{index}",
+        )
+        self.sinks.append(guarded)
+        return guarded
+
+    def loop_for(self, user_id: int) -> RoundLoop:
+        loop = self._loops.get(user_id)
+        if loop is None:
+            loop = self._loop_factory(user_id)
+            self._loops[user_id] = loop
+        return loop
+
+    # -- ingest ----------------------------------------------------------------
+
+    async def ingest(self, item: ContentItem) -> IngestResult:
+        """Offer one notification event; always answers explicitly.
+
+        The admission pipeline: overload shedding (ladder at SHED) ->
+        tiered rate limiting -> deferral (ladder at DEFER) -> the user's
+        bounded queue.  A full queue is an explicit ``Overload`` result,
+        never silent growth.
+
+        The decision itself is synchronous (bounded queues consume O(1),
+        token buckets refill lazily), so admission never yields: a burst
+        of arrivals is decided in arrival order with no interleaving.
+        """
+        now = self.clock.now()
+        self.stats.ingested += 1
+
+        if self.controller.sheds_ingest:
+            self.stats.shed_overload += 1
+            return IngestResult(
+                outcome=Admission.SHED_OVERLOAD,
+                user_id=item.user_id,
+                item_id=item.item_id,
+                queue_depth=self.frontier.depth(item.user_id),
+                detail="degradation ladder at SHED",
+            )
+
+        decision = self.limiter.allow(now, item.user_id, item.kind)
+        if not decision.allowed:
+            self.stats.shed_rate_limited += 1
+            return IngestResult(
+                outcome=Admission.SHED_RATE_LIMITED,
+                user_id=item.user_id,
+                item_id=item.item_id,
+                queue_depth=self.frontier.depth(item.user_id),
+                detail=f"rate tier {decision.tier}",
+            )
+
+        event = QueuedEvent(item=item, ingested_at=now)
+
+        if self.controller.defers_ingest:
+            if len(self._deferred) >= self.config.deferred_bound:
+                self.stats.shed_overload += 1
+                return IngestResult(
+                    outcome=Admission.SHED_OVERLOAD,
+                    user_id=item.user_id,
+                    item_id=item.item_id,
+                    queue_depth=self.frontier.depth(item.user_id),
+                    detail="deferred buffer full",
+                )
+            self._deferred.append(event)
+            self.stats.deferred_total += 1
+            return IngestResult(
+                outcome=Admission.DEFERRED,
+                user_id=item.user_id,
+                item_id=item.item_id,
+                queue_depth=self.frontier.depth(item.user_id),
+                detail="degradation ladder at DEFER",
+            )
+
+        return self._admit(event)
+
+    def _admit(self, event: QueuedEvent) -> IngestResult:
+        item = event.item
+        if not self.frontier.offer(event):
+            self.stats.shed_queue_full += 1
+            return IngestResult(
+                outcome=Admission.SHED_QUEUE_FULL,
+                user_id=item.user_id,
+                item_id=item.item_id,
+                queue_depth=self.frontier.depth(item.user_id),
+                detail=f"bound {self.config.queue_bound}",
+            )
+        self.stats.admitted += 1
+        self._inflight[item.item_id] = event.ingested_at
+        return IngestResult(
+            outcome=Admission.ADMITTED,
+            user_id=item.user_id,
+            item_id=item.item_id,
+            queue_depth=self.frontier.depth(item.user_id),
+        )
+
+    def _readmit_deferred(self) -> None:
+        """Move deferred events back into queues once pressure allows."""
+        if self.controller.defers_ingest or not self._deferred:
+            return
+        budget = min(self.config.readmit_per_tick, len(self._deferred))
+        batch, self._deferred = (
+            self._deferred[:budget],
+            self._deferred[budget:],
+        )
+        for event in batch:
+            self.stats.readmitted += 1
+            # A full queue sheds the event here (counted by _admit); it is
+            # no longer deferred_pending, so the ledger stays conserved.
+            self._admit(event)
+
+    # -- the scheduler loop ----------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the scheduler to exit at the next tick (live mode)."""
+        self._stop_requested = True
+
+    async def run(
+        self,
+        rounds: int | None = None,
+        run_seconds: float | None = None,
+    ) -> None:
+        """Run the scheduler until the bound expires (or
+        :meth:`request_stop`).
+
+        ``rounds`` bounds the run to that many round periods -- with
+        staggered timers every user fires exactly ``rounds`` times.
+        Exactly one of ``rounds`` / ``run_seconds`` may be given;
+        neither means run until stopped.
+        """
+        if rounds is not None and run_seconds is not None:
+            raise ValueError("pass rounds or run_seconds, not both")
+        if self._started:
+            raise RuntimeError("service already ran; build a fresh instance")
+        self._started = True
+        start = self.clock.now()
+        end: float | None = None
+        if rounds is not None:
+            if rounds < 1:
+                raise ValueError("rounds must be >= 1")
+            end = start + rounds * self.config.round_seconds
+        elif run_seconds is not None:
+            if run_seconds <= 0:
+                raise ValueError("run_seconds must be positive")
+            end = start + run_seconds
+
+        for user_id in self._user_ids:
+            self.timers.register(user_id, start)
+
+        while not self._stop_requested:
+            deadline = self.timers.next_deadline()
+            if deadline is None:
+                break
+            if end is not None and deadline > end + 1e-9:
+                break
+            await self.clock.sleep(deadline - self.clock.now())
+            now = self.clock.now()
+            self.stats.ticks += 1
+            self._update_pressure(now)
+            self._readmit_deferred()
+            for user_id in self.timers.due(now):
+                self._fire_round(user_id, now)
+            self._reap_delivery_tasks()
+        # Round timers never wait on egress; settle what is still in
+        # flight before reporting the run complete.
+        if self._delivery_tasks:
+            await asyncio.gather(*self._delivery_tasks)
+            self._delivery_tasks.clear()
+
+    def _fire_round(self, user_id: int, now: float) -> None:
+        """Run one user's round; egress continues as a background task."""
+        loop = self.loop_for(user_id)
+        for event in self.frontier.drain(user_id):
+            loop.enqueue(event.item)
+        loop.level_cap = self.controller.level_cap()
+        result = loop.run_round(now, self.config.round_seconds)
+        self.stats.rounds_run += 1
+        for dropped in result.dropped:
+            self._settle_dead_letter(dropped.item.item_id, f"loop:{dropped.reason}")
+        if result.deliveries:
+            self._delivery_tasks.append(
+                asyncio.ensure_future(self._push_batch(result.deliveries))
+            )
+
+    def _reap_delivery_tasks(self) -> None:
+        still_running = [t for t in self._delivery_tasks if not t.done()]
+        for task in self._delivery_tasks:
+            if task.done():
+                task.result()  # surface egress exceptions instead of dropping
+        self._delivery_tasks = still_running
+
+    async def _push_batch(self, deliveries: Sequence[Delivery]) -> None:
+        await asyncio.gather(*(self._push(d) for d in deliveries))
+
+    async def _push(self, delivery: Delivery) -> None:
+        """Fan one delivery out to every sink; settle its accounting."""
+        if self.sinks:
+            outcomes = await asyncio.gather(
+                *(sink.deliver(delivery) for sink in self.sinks)
+            )
+            confirmed = any(outcomes)
+        else:
+            confirmed = True  # sink-less service: selection is delivery
+        item_id = delivery.item.item_id
+        if confirmed:
+            ingested_at = self._inflight.pop(item_id, None)
+            latency = (
+                self.clock.now() - ingested_at if ingested_at is not None else 0.0
+            )
+            self.stats.record_delivery(
+                latency, delivery.size_bytes, delivery.utility
+            )
+        else:
+            self._settle_dead_letter(item_id, "sink_exhausted")
+
+    def _settle_dead_letter(self, item_id: int, reason: str) -> None:
+        self._inflight.pop(item_id, None)
+        self.stats.record_dead_letter(reason)
+
+    def _update_pressure(self, now: float) -> None:
+        window_peak = self.frontier.take_window_peak()
+        loop_backlog = self.loop_backlog()
+        occupancy = self.frontier.occupancy_of(window_peak + loop_backlog)
+        open_breakers = sum(
+            1 for sink in self.sinks if sink.breaker_state is BreakerState.OPEN
+        )
+        breaker_fraction = open_breakers / len(self.sinks) if self.sinks else 0.0
+        self.controller.update(now, occupancy, breaker_fraction)
+
+    # -- observability ---------------------------------------------------------
+
+    def loop_backlog(self) -> int:
+        """Items sitting in round loops (incoming + scheduling queues)."""
+        return sum(loop.pending_items for loop in self._loops.values())
+
+    @property
+    def deferred_pending(self) -> int:
+        return len(self._deferred)
+
+    def accounting(self) -> dict:
+        """The conservation ledger; ``error`` must be 0 at rest."""
+        pending = self.frontier.total_depth() + self.loop_backlog()
+        stats = self.stats
+        accounted = (
+            stats.delivered
+            + stats.shed
+            + stats.dead_lettered
+            + self.deferred_pending
+            + pending
+        )
+        return {
+            "ingested": stats.ingested,
+            "delivered": stats.delivered,
+            "shed": stats.shed,
+            "shed_queue_full": stats.shed_queue_full,
+            "shed_rate_limited": stats.shed_rate_limited,
+            "shed_overload": stats.shed_overload,
+            "deferred_total": stats.deferred_total,
+            "deferred_pending": self.deferred_pending,
+            "readmitted": stats.readmitted,
+            "dead_lettered": stats.dead_lettered,
+            "dead_letter_reasons": dict(stats.dead_letter_reasons),
+            "pending": pending,
+            "error": stats.ingested - accounted,
+        }
+
+    def conservation_error(self) -> int:
+        return int(self.accounting()["error"])
+
+    def health(self) -> HealthSnapshot:
+        return HealthSnapshot(
+            time=self.clock.now(),
+            pressure_level=self.controller.level,
+            pressure=self.controller.pressure,
+            queue_depth=self.frontier.total_depth(),
+            queue_high_water=self.frontier.high_water(),
+            deferred_pending=self.deferred_pending,
+            loop_backlog=self.loop_backlog(),
+            breaker_states=tuple(
+                sink.breaker_state.value for sink in self.sinks
+            ),
+            conservation_error=self.conservation_error(),
+        )

@@ -1,0 +1,60 @@
+"""Fixture: RL205 wall-clock duration math (unscoped: fires in any zone)."""
+
+import time
+from time import time as wall
+from datetime import datetime
+
+
+def work():
+    return None
+
+
+def elapsed_direct():
+    started = time.time()
+    work()
+    return time.time() - started  # EXPECT[RL205]
+
+
+def elapsed_via_names():
+    started = time.time()
+    work()
+    ended = time.time()
+    return ended - started  # EXPECT[RL205]
+
+
+def elapsed_from_alias():
+    t0 = wall()
+    work()
+    return wall() - t0  # EXPECT[RL205]
+
+
+def elapsed_ns():
+    t0 = time.time_ns()
+    work()
+    return (time.time_ns() - t0) / 1e9  # EXPECT[RL205]
+
+
+def deadline_check(budget_seconds):
+    started = datetime.now()
+    work()
+    return (datetime.now() - started).total_seconds() > budget_seconds  # EXPECT[RL205]
+
+
+def elapsed_monotonic():
+    started = time.monotonic()
+    work()
+    return time.monotonic() - started  # fine: immune to clock steps
+
+
+def elapsed_perf():
+    started = time.perf_counter()
+    work()
+    return time.perf_counter() - started  # fine
+
+
+def timestamp_only():
+    return time.time()  # a *stamp* is RL203's business, not RL205's
+
+
+def unrelated_subtraction(a, b):
+    return a - b

@@ -139,3 +139,82 @@ class TestCapacityLimitedBroker:
         inner.add_sink(lambda n: None)
         with pytest.raises(ValueError):
             CapacityLimitedBroker(inner, CapacityConfig(broker_capacity=1))
+
+
+class TestExhaustionAndRefund:
+    """Boundary paths: broker capacity running dry mid-queue, and budget a
+    blocked user cannot use flowing back to the partial queue."""
+
+    def test_conservation_under_exhaustion(self):
+        batch = demands({1: 3, 2: 4, 3: 5})
+        selection = select_satisfied_subscribers(
+            batch, CapacityConfig(broker_capacity=6)
+        )
+        # Every matched notification is either delivered or dropped.
+        assert len(selection.delivered) + len(selection.dropped) == len(batch)
+        assert len(selection.delivered) == 6  # user 1 fully + 3 partial
+        assert selection.satisfied_users == frozenset({1})
+
+    def test_exhausted_capacity_starves_later_partials(self):
+        batch = demands({1: 3, 2: 4, 3: 5})
+        selection = select_satisfied_subscribers(
+            batch, CapacityConfig(broker_capacity=6)
+        )
+        # Partial service drains ascending by demand: user 2 absorbs the
+        # leftover, user 3 (largest demand) gets nothing.
+        delivered_users = {n.recipient_id for n in selection.delivered}
+        assert delivered_users == {1, 2}
+        assert sum(1 for n in selection.dropped if n.recipient_id == 3) == 5
+
+    def test_blocked_user_refunds_capacity_to_others(self):
+        # User 1's personal capacity is 0: they can never be satisfied,
+        # so the broker budget their demand would have consumed serves
+        # user 2 instead of being wasted.
+        batch = demands({1: 2, 2: 2})
+        config = CapacityConfig(
+            broker_capacity=2, user_capacity_overrides={1: 0}
+        )
+        selection = select_satisfied_subscribers(batch, config)
+        assert selection.satisfied_users == frozenset({2})
+        assert [n.recipient_id for n in selection.delivered] == [2, 2]
+        assert sum(1 for n in selection.dropped if n.recipient_id == 1) == 2
+
+    def test_partial_service_capped_by_user_attention(self):
+        # Leftover broker capacity cannot overfill one user's capacity.
+        batch = demands({1: 5})
+        config = CapacityConfig(broker_capacity=10, default_user_capacity=2)
+        selection = select_satisfied_subscribers(batch, config)
+        assert selection.satisfied_users == frozenset()
+        assert len(selection.delivered) == 2
+        assert len(selection.dropped) == 3
+
+    def test_exactly_exhausted_boundary(self):
+        # Demand == capacity: satisfied with zero leftover, nothing dropped.
+        batch = demands({1: 2, 2: 3})
+        selection = select_satisfied_subscribers(
+            batch, CapacityConfig(broker_capacity=5)
+        )
+        assert selection.satisfied_users == frozenset({1, 2})
+        assert selection.dropped == []
+
+    def test_totals_accumulate_across_rounds_and_drops_never_hit_sinks(self):
+        store = SubscriptionStore()
+        topic = Topic(TopicKind.ARTIST, 1)
+        for user in (1, 2, 3):
+            store.subscribe(user, topic)
+        inner = Broker(store, default_mode=DeliveryMode.ROUND)
+        wrapper = CapacityLimitedBroker(
+            inner, CapacityConfig(broker_capacity=2)
+        )
+        received = []
+        wrapper.add_sink(received.append)
+        for timestamp in (1.0, 2.0):
+            wrapper.publish(
+                Publication(topic=topic, publisher_id=99, timestamp=timestamp)
+            )
+            wrapper.flush_round()
+        assert wrapper.total_delivered == 4
+        assert wrapper.total_dropped == 2
+        assert len(received) == 4
+        # Dropped notifications were filtered before the sink layer.
+        assert wrapper.total_delivered + wrapper.total_dropped == 6

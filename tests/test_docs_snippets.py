@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_eight_walkthroughs(self):
-        assert len(python_blocks()) == 8
+    def test_has_nine_walkthroughs(self):
+        assert len(python_blocks()) == 9
 
     @pytest.mark.parametrize(
         "index,block",

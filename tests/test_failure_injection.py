@@ -512,6 +512,71 @@ class TestFlakyConnectivityWrapper:
         assert flaky.state is NetworkState.WIFI
         assert flaky.bandwidth == base.bandwidth
 
+    def test_invalid_outage_probability_rejected(self):
+        base = TraceConnectivity([NetworkState.WIFI])
+        for bad in (-0.1, 1.0001, 2.0):
+            with pytest.raises(ValueError, match="p_outage"):
+                FlakyConnectivity(base, p_outage=bad, rng=random.Random(1))
+
+    def test_full_outage_rate_blanks_every_connected_round(self):
+        base = TraceConnectivity([NetworkState.WIFI, NetworkState.CELL])
+        flaky = FlakyConnectivity(base, p_outage=1.0, rng=random.Random(7))
+        for _ in range(6):
+            flaky.step()
+            assert not flaky.connected
+            assert flaky.state is NetworkState.OFF
+            assert flaky.bandwidth == 0.0
+            assert flaky.capacity_per_round(ROUND) == 0.0
+
+    def test_base_disconnect_consumes_no_rng_draw(self):
+        """When the trace itself is OFF the wrapper adds nothing and must
+        not advance the fault stream -- otherwise the outage schedule
+        would depend on the trace instead of only on the seed."""
+
+        class CountingRandom(random.Random):
+            draws = 0
+
+            def random(self):
+                CountingRandom.draws += 1
+                return super().random()
+
+        CountingRandom.draws = 0
+        base = TraceConnectivity([NetworkState.OFF])
+        flaky = FlakyConnectivity(base, p_outage=1.0, rng=CountingRandom(3))
+        flaky.step()
+        assert flaky.state is NetworkState.OFF
+        assert not flaky.connected
+        assert CountingRandom.draws == 0
+
+    def test_reconnects_on_the_round_after_an_outage(self):
+        """A forced outage must not leak into the next round: the flag is
+        recomputed every step, so the wrapper turns transparent again the
+        moment the stream stops drawing an outage."""
+
+        class ScriptedRng:
+            def __init__(self, script):
+                self._script = list(script)
+
+            def random(self):
+                return self._script.pop(0)
+
+        base = TraceConnectivity([NetworkState.WIFI])
+        flaky = FlakyConnectivity(base, p_outage=0.5, rng=ScriptedRng([0.1, 0.9]))
+        flaky.step()
+        assert not flaky.connected  # 0.1 < 0.5: forced off this round
+        assert flaky.capacity_per_round(ROUND) == 0.0
+        flaky.step()
+        assert flaky.connected  # 0.9 >= 0.5: outage over
+        assert flaky.state is NetworkState.WIFI
+        assert flaky.bandwidth == base.bandwidth
+        assert flaky.capacity_per_round(ROUND) == base.capacity_per_round(ROUND)
+
+    def test_negative_round_duration_rejected(self):
+        base = TraceConnectivity([NetworkState.WIFI])
+        flaky = FlakyConnectivity(base, p_outage=0.0, rng=random.Random(3))
+        with pytest.raises(ValueError, match=">= 0"):
+            flaky.capacity_per_round(-1.0)
+
 
 class TestSinkCircuitBreaker:
     """Broker-side fault isolation: flush survives a raising sink."""
@@ -606,6 +671,49 @@ class TestSinkCircuitBreaker:
         assert broker.breaker_states() == [BreakerState.OPEN]
         assert broker.stats.sink_errors == 2
         assert broker.stats.sink_skipped == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """Regression: a half-open breaker must latch while its probe is
+        in flight, or concurrent async deliveries all pass at once."""
+        from repro.pubsub.broker import (
+            BreakerState,
+            CircuitBreakerConfig,
+            SinkCircuit,
+        )
+
+        circuit = SinkCircuit(
+            CircuitBreakerConfig(failure_threshold=1, cooldown_skips=1)
+        )
+        circuit.record_failure()
+        assert circuit.state is BreakerState.OPEN
+        assert circuit.allow() == (False, False)  # cooldown skip
+        assert circuit.allow() == (True, True)  # the probe
+        assert circuit.state is BreakerState.HALF_OPEN
+        # While the probe is unresolved, every further delivery is refused.
+        assert circuit.allow() == (False, False)
+        assert circuit.allow() == (False, False)
+        circuit.record_success()
+        assert circuit.state is BreakerState.CLOSED
+        assert circuit.allow() == (True, False)
+
+    def test_half_open_probe_failure_clears_latch_and_reopens(self):
+        from repro.pubsub.broker import (
+            BreakerState,
+            CircuitBreakerConfig,
+            SinkCircuit,
+        )
+
+        circuit = SinkCircuit(
+            CircuitBreakerConfig(failure_threshold=1, cooldown_skips=1)
+        )
+        circuit.record_failure()
+        circuit.allow()  # burn the cooldown skip
+        assert circuit.allow() == (True, True)
+        circuit.record_failure()  # probe failed
+        assert circuit.state is BreakerState.OPEN
+        assert circuit.allow() == (False, False)  # fresh cooldown window
+        # The next window's probe is admitted again (latch was cleared).
+        assert circuit.allow() == (True, True)
 
     def test_realtime_dispatch_isolated_too(self):
         from repro.pubsub.broker import Broker, DeliveryMode

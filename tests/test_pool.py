@@ -6,10 +6,13 @@ must be bit-identical to the sequential runner, with only the workload
 shards and score map crossing the process boundary (once, at init).
 """
 
+import multiprocessing
+import os
 import pickle
 
 import pytest
 
+import repro.experiments.pool as pool_module
 from repro.experiments.config import ExperimentConfig, Method, MethodSpec
 from repro.experiments.metrics import MetricsAccumulator, aggregate
 from repro.experiments.pool import ExperimentPool, sweep_budgets_parallel
@@ -27,6 +30,28 @@ ALL_SPECS = [
     MethodSpec(Method.FIFO, 2),
     MethodSpec(Method.UTIL, 3),
 ]
+
+#: Crash-injection plumbing for TestPoolRecovery.  Module-level (not
+#: fixture-local) so fork-started workers can unpickle the function by
+#: qualified name; the sentinel dict is populated by the test before the
+#: pool forks, so children inherit the path.
+_CRASH_SENTINEL = {"path": ""}
+_real_run_cell_batch = pool_module._run_cell_batch
+
+
+def _crash_once_batch(spec, config, user_ids, digest_deliveries):
+    """Worker-side stand-in: the first worker to claim the sentinel dies.
+
+    ``open(..., "x")`` is atomic, so exactly one process across the
+    pool's whole lifetime hard-exits mid-batch; everyone else (including
+    the rebuilt pool's workers) runs the real batch.
+    """
+    try:
+        with open(_CRASH_SENTINEL["path"], "x"):
+            pass
+    except FileExistsError:
+        return _real_run_cell_batch(spec, config, user_ids, digest_deliveries)
+    os._exit(1)
 
 
 @pytest.fixture(scope="module")
@@ -144,6 +169,44 @@ class TestPoolBoundary:
         assert pickle.loads(pickle.dumps(config)) == config
 
 
+class TestPoolRecovery:
+    """A worker killed mid-batch must not kill the sweep (ISSUE: OOM-killed
+    workers poisoning the executor)."""
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="crash injection patches a forked module global",
+    )
+    def test_broken_pool_rebuilds_once_and_folds_identically(
+        self, workload, annotations, users, tmp_path, monkeypatch
+    ):
+        _CRASH_SENTINEL["path"] = str(tmp_path / "crashed-once")
+        monkeypatch.setattr(pool_module, "_run_cell_batch", _crash_once_batch)
+        spec = MethodSpec(Method.RICHNOTE)
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        telemetry = SweepTelemetry()
+        with ExperimentPool(
+            workload,
+            annotations=annotations,
+            user_ids=users,
+            max_workers=2,
+            telemetry=telemetry,
+        ) as fresh:
+            result = fresh.run_cell(spec, config)
+            assert fresh.worker_restarts == 1
+        # The retried batches replay the same resident shards with the
+        # same seeds: aggregates stay bit-identical to sequential.
+        sequential = run_experiment(workload, spec, config, annotations, users)
+        assert result.aggregate == sequential.aggregate
+        assert [o.metrics.user_id for o in result.per_user] == [
+            o.metrics.user_id for o in sequential.per_user
+        ]
+        assert telemetry.meta["worker_restarts"] == 1
+
+    def test_clean_run_reports_zero_restarts(self, pool):
+        assert pool.worker_restarts == 0
+
+
 class TestBalancedBatches:
     def test_partitions_completely_and_disjointly(self):
         costs = {user: (user * 37) % 11 + 1 for user in range(100)}
@@ -235,6 +298,7 @@ class TestTelemetry:
         assert set(payload["stages_s"]) == {"train", "shard"}
         assert payload["meta"]["engine"] == "ExperimentPool"
         assert payload["meta"]["workers"] == 2
+        assert payload["meta"]["worker_restarts"] == 0
         [cell] = payload["cells"]
         assert cell["label"] == "RichNote"
         assert cell["budget_mb"] == 5.0

@@ -58,6 +58,7 @@ FIXTURE_FILES = [
     "r202_unseeded_rng.py",
     "core/r203_wallclock.py",
     "core/r204_set_iteration.py",
+    "r205_wallclock_duration.py",
     "r301_float_eq.py",
     "r401_mutable_default.py",
     "r402_unfrozen_key.py",
@@ -95,6 +96,16 @@ class TestScoping:
         outside = analyze_source(self.WALLCLOCK_SRC, relpath="trace/clock.py")
         assert outside == []
 
+    def test_wallclock_duration_fires_in_every_zone(self):
+        source = (
+            "import time\n\n\ndef f():\n"
+            "    t0 = time.time()\n"
+            "    return time.time() - t0\n"
+        )
+        for relpath in ("service/server.py", "trace/timer.py", "core/clock.py"):
+            codes = [f.code for f in analyze_source(source, relpath)]
+            assert "RL205" in codes, relpath
+
     def test_set_iteration_scoped_to_core(self):
         source = "def f(items: set):\n    return [x for x in items]\n"
         assert [f.code for f in analyze_source(source, "core/hot.py")] == ["RL204"]
@@ -128,6 +139,7 @@ class TestSelectors:
             "RL202",
             "RL203",
             "RL204",
+            "RL205",
         }
         assert resolve_selectors(["float-eq"], rules) == {"RL301"}
         assert resolve_selectors(["RL101,R5"], rules) == {"RL101", "RL501"}

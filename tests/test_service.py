@@ -1,0 +1,712 @@
+"""Tests for the live notification service (ingest -> schedule -> deliver).
+
+Unit layers first (clock, queues, rate limiter, ladder, timers, guarded
+sinks, loop hooks), then the end-to-end chaos gate: a flash crowd against
+bounded queues must keep the conservation ledger exact, never exceed a
+queue bound, answer overloads explicitly, and walk the degradation
+ladder up *and* back down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.content import ContentItem, ContentKind
+from repro.core.presentations import build_audio_ladder
+from repro.core.utility import CombinedUtilityModel
+from repro.pubsub.broker import BreakerState, CircuitBreakerConfig
+from repro.runtime import registry
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import Delivery
+from repro.service import (
+    Admission,
+    BoundedUserQueue,
+    DegradationConfig,
+    DegradationController,
+    GuardedSink,
+    IngestFrontier,
+    NotificationService,
+    PressureLevel,
+    QueuedEvent,
+    RateLimitConfig,
+    RoundTimers,
+    ServiceConfig,
+    SimulatedClock,
+    SinkPolicy,
+    TieredRateLimiter,
+    TokenBucket,
+)
+from repro.service.harness import DemoConfig, run_demo
+from repro.sim.battery import BatterySample, BatteryTrace
+from repro.sim.device import MobileDevice
+from repro.sim.energy import TransferEnergyModel
+from repro.sim.network import NetworkState, TraceConnectivity
+
+LADDER = build_audio_ladder()
+
+
+def item(item_id, user_id=1, created_at=0.0, utility=0.5):
+    return ContentItem(
+        item_id=item_id,
+        user_id=user_id,
+        kind=ContentKind.FRIEND_FEED,
+        created_at=created_at,
+        ladder=LADDER,
+        content_utility=utility,
+    )
+
+
+def delivery(item_id=0, user_id=1):
+    return Delivery(
+        time=0.0,
+        user_id=user_id,
+        item=item(item_id, user_id),
+        level=1,
+        size_bytes=1_000,
+        energy_joules=1.0,
+        utility=0.5,
+    )
+
+
+def event(item_id, user_id=1, at=0.0):
+    return QueuedEvent(item=item(item_id, user_id), ingested_at=at)
+
+
+def make_loop(user_id=1):
+    """A live RoundLoop on always-on WiFi with generous budgets."""
+    device = MobileDevice(
+        user_id=user_id,
+        network=TraceConnectivity([NetworkState.WIFI]),
+        battery=BatteryTrace([BatterySample(time=0.0, level=0.9, charging=False)]),
+        energy_model=TransferEnergyModel(),
+    )
+    return RoundLoop(
+        device,
+        DataBudget(theta_bytes=5_000_000.0),
+        EnergyBudget(kappa_joules=10_000.0),
+        CombinedUtilityModel(),
+        policy=registry.create("richnote"),
+    )
+
+
+def drive(clock, awaitable):
+    return asyncio.run(clock.drive(awaitable))
+
+
+class TestSimulatedClock:
+    def test_sleepers_wake_in_deadline_order(self):
+        clock = SimulatedClock()
+        order = []
+
+        async def sleeper(label, seconds):
+            await clock.sleep(seconds)
+            order.append(label)
+
+        async def scenario():
+            tasks = [
+                asyncio.ensure_future(sleeper("late", 3.0)),
+                asyncio.ensure_future(sleeper("early", 1.0)),
+                asyncio.ensure_future(sleeper("mid", 2.0)),
+            ]
+            await clock.advance(5.0)
+            await asyncio.gather(*tasks)
+
+        asyncio.run(scenario())
+        assert order == ["early", "mid", "late"]
+        assert clock.now() == 5.0
+
+    def test_nonpositive_sleep_yields_without_parking(self):
+        clock = SimulatedClock()
+
+        async def scenario():
+            await clock.sleep(0.0)
+            await clock.sleep(-1.0)
+            return clock.pending_sleepers
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError, match="backwards"):
+            asyncio.run(clock.advance(-0.1))
+
+    def test_drive_runs_chained_sleeps_to_completion(self):
+        clock = SimulatedClock()
+
+        async def chained():
+            for _ in range(10):
+                await clock.sleep(7.0)
+            return clock.now()
+
+        assert drive(clock, chained()) == 70.0
+
+    def test_drive_detects_a_genuine_deadlock(self):
+        clock = SimulatedClock()
+
+        async def stuck():
+            await asyncio.get_running_loop().create_future()
+
+        with pytest.raises(RuntimeError, match="stalled"):
+            asyncio.run(clock.drive(stuck(), max_idle_yields=50))
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0, now=0.0)
+        assert [bucket.try_acquire(0.0) for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refills_lazily_and_caps_at_capacity(self):
+        bucket = TokenBucket(rate=2.0, capacity=4.0, now=0.0)
+        for _ in range(4):
+            assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.5)  # 0.5s x 2/s = 1 token back
+        assert bucket.available(1_000.0) == 4.0  # never above capacity
+
+    def test_peek_consumes_nothing(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0, now=0.0)
+        assert bucket.peek(0.0)
+        assert bucket.peek(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.peek(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError, match="capacity"):
+            TokenBucket(rate=1.0, capacity=0.5)
+
+
+class TestTieredRateLimiter:
+    def test_disabled_config_admits_everything(self):
+        limiter = TieredRateLimiter(RateLimitConfig())
+        assert not limiter.config.enabled
+        for i in range(1_000):
+            assert limiter.allow(0.0, i % 3, ContentKind.FRIEND_FEED).allowed
+
+    def test_denial_names_the_tier(self):
+        limiter = TieredRateLimiter(
+            RateLimitConfig(per_user_rate=1.0, per_user_burst=2.0), now=0.0
+        )
+        assert limiter.allow(0.0, 1, ContentKind.FRIEND_FEED).allowed
+        assert limiter.allow(0.0, 1, ContentKind.FRIEND_FEED).allowed
+        denied = limiter.allow(0.0, 1, ContentKind.FRIEND_FEED)
+        assert not denied.allowed
+        assert denied.tier == "user"
+        assert limiter.denials == {"global": 0, "user": 1, "topic": 0}
+        # Another user has their own bucket.
+        assert limiter.allow(0.0, 2, ContentKind.FRIEND_FEED).allowed
+
+    def test_denied_admission_leaks_no_tokens_from_other_tiers(self):
+        config = RateLimitConfig(
+            global_rate=10.0,
+            global_burst=5.0,
+            per_user_rate=1.0,
+            per_user_burst=1.0,
+        )
+        limiter = TieredRateLimiter(config, now=0.0)
+        assert limiter.allow(0.0, 1, ContentKind.FRIEND_FEED).allowed
+        # User 1's bucket is empty; the global bucket must not pay for
+        # the denied attempts.
+        for _ in range(3):
+            assert limiter.allow(0.0, 1, ContentKind.FRIEND_FEED).tier == "user"
+        # 5 - 1 consumed = 4 global tokens remain for other users.
+        for user_id in (2, 3, 4, 5):
+            assert limiter.allow(0.0, user_id, ContentKind.FRIEND_FEED).allowed
+        assert limiter.allow(0.0, 6, ContentKind.FRIEND_FEED).tier == "global"
+
+    def test_topic_tier_isolates_kinds(self):
+        limiter = TieredRateLimiter(
+            RateLimitConfig(per_topic_rate=1.0, per_topic_burst=1.0), now=0.0
+        )
+        assert limiter.allow(0.0, 1, ContentKind.ALBUM_RELEASE).allowed
+        assert limiter.allow(0.0, 2, ContentKind.ALBUM_RELEASE).tier == "topic"
+        assert limiter.allow(0.0, 3, ContentKind.FRIEND_FEED).allowed
+
+    def test_rate_config_validation(self):
+        with pytest.raises(ValueError, match="global_rate"):
+            RateLimitConfig(global_rate=0.0)
+        with pytest.raises(ValueError, match="per_user_burst"):
+            RateLimitConfig(per_user_burst=0.0)
+
+
+class TestBoundedQueues:
+    def test_push_refuses_at_bound_without_dropping(self):
+        queue = BoundedUserQueue(user_id=1, bound=2)
+        assert queue.push(event(0))
+        assert queue.push(event(1))
+        assert not queue.push(event(2))
+        assert len(queue) == 2
+        assert queue.high_water == 2
+        drained = queue.drain()
+        assert [e.item.item_id for e in drained] == [0, 1]  # FIFO
+        assert len(queue) == 0
+        assert queue.high_water == 2  # survives the drain
+
+    def test_frontier_tracks_window_peak_across_drains(self):
+        frontier = IngestFrontier(queue_bound=4)
+        frontier.register(1)
+        frontier.register(2)
+        for i in range(3):
+            assert frontier.offer(event(i, user_id=1))
+        frontier.drain(1)
+        assert frontier.total_depth() == 0
+        # The tick still sees the burst that came and went.
+        assert frontier.take_window_peak() == 3
+        assert frontier.take_window_peak() == 0  # window reset
+
+    def test_occupancy_is_depth_over_aggregate_capacity(self):
+        frontier = IngestFrontier(queue_bound=4)
+        frontier.register(1)
+        frontier.register(2)
+        assert frontier.occupancy_of(4) == 0.5
+        assert frontier.occupancy_of(9_999) == 1.0
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError, match="bound"):
+            BoundedUserQueue(user_id=1, bound=0)
+        with pytest.raises(ValueError, match="bound"):
+            IngestFrontier(queue_bound=0)
+
+
+class TestDegradationLadder:
+    def test_escalates_immediately_and_recovers_one_rung_per_tick(self):
+        controller = DegradationController(DegradationConfig())
+        assert controller.update(0.0, occupancy=0.95) is PressureLevel.SHED
+        # Pressure gone; recovery still walks down one rung at a time.
+        assert controller.update(1.0, occupancy=0.0) is PressureLevel.DEFER
+        assert controller.update(2.0, occupancy=0.0) is PressureLevel.REDUCE_RICH
+        assert controller.update(3.0, occupancy=0.0) is PressureLevel.NORMAL
+        assert controller.max_level is PressureLevel.SHED
+        assert [level for _, level in controller.transitions] == [
+            PressureLevel.SHED,
+            PressureLevel.DEFER,
+            PressureLevel.REDUCE_RICH,
+            PressureLevel.NORMAL,
+        ]
+
+    def test_hysteresis_blocks_recovery_near_the_threshold(self):
+        config = DegradationConfig(reduce_at=0.5, recover_margin=0.1)
+        controller = DegradationController(config)
+        controller.update(0.0, occupancy=0.6)
+        assert controller.level is PressureLevel.REDUCE_RICH
+        # Just under the entry threshold but inside the margin: hold.
+        controller.update(1.0, occupancy=0.45)
+        assert controller.level is PressureLevel.REDUCE_RICH
+        controller.update(2.0, occupancy=0.39)
+        assert controller.level is PressureLevel.NORMAL
+
+    def test_open_breakers_add_pressure(self):
+        controller = DegradationController(DegradationConfig(breaker_weight=0.5))
+        level = controller.update(0.0, occupancy=0.3, breaker_open_fraction=1.0)
+        assert controller.pressure == pytest.approx(0.8)
+        assert level is PressureLevel.DEFER
+
+    def test_level_cap_applies_from_reduce_rich_up(self):
+        controller = DegradationController(DegradationConfig(rich_level_cap=1))
+        assert controller.level_cap() is None
+        controller.update(0.0, occupancy=0.6)
+        assert controller.level_cap() == 1
+        assert not controller.defers_ingest
+        controller.update(1.0, occupancy=0.8)
+        assert controller.defers_ingest
+        assert not controller.sheds_ingest
+        controller.update(2.0, occupancy=0.95)
+        assert controller.sheds_ingest
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="reduce_at"):
+            DegradationConfig(reduce_at=0.9, defer_at=0.5)
+        with pytest.raises(ValueError, match="recover_margin"):
+            DegradationConfig(recover_margin=0.6)
+
+
+class TestRoundTimers:
+    def test_stagger_is_deterministic_and_within_one_period(self):
+        first = RoundTimers(60.0, seed=5)
+        second = RoundTimers(60.0, seed=5)
+        for user_id in range(10):
+            a = first.register(user_id, now=0.0)
+            b = second.register(user_id, now=0.0)
+            assert a == b
+            assert 0.0 < a <= 60.0
+        assert RoundTimers(60.0, seed=6).register(0, 0.0) != first._heap[0][0]
+
+    def test_each_user_fires_exactly_rounds_times(self):
+        timers = RoundTimers(10.0, seed=1)
+        for user_id in range(4):
+            timers.register(user_id, now=0.0)
+        fired: dict[int, int] = {}
+        now = timers.next_deadline()
+        while now is not None and now <= 30.0 + 1e-9:
+            for user_id in timers.due(now):
+                fired[user_id] = fired.get(user_id, 0) + 1
+            now = timers.next_deadline()
+        assert fired == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_reregistration_rejected(self):
+        timers = RoundTimers(10.0)
+        timers.register(1, now=0.0)
+        with pytest.raises(ValueError, match="already"):
+            timers.register(1, now=0.0)
+
+
+class TestGuardedSink:
+    def _guarded(self, sink, clock, policy=None, breaker=None):
+        return GuardedSink(
+            sink,
+            clock=clock,
+            rng=random.Random(11),
+            policy=policy or SinkPolicy(),
+            breaker=breaker,
+        )
+
+    def test_sync_sink_delivers(self):
+        clock = SimulatedClock()
+        seen = []
+        guarded = self._guarded(seen.append, clock)
+        assert drive(clock, guarded.deliver(delivery()))
+        assert len(seen) == 1
+        assert guarded.stats.delivered == 1
+
+    def test_failures_retry_with_backoff_then_exhaust(self):
+        clock = SimulatedClock()
+
+        def bad(_delivery):
+            raise RuntimeError("push channel down")
+
+        policy = SinkPolicy(max_attempts=3, base_backoff_seconds=1.0)
+        guarded = self._guarded(
+            bad,
+            clock,
+            policy=policy,
+            breaker=CircuitBreakerConfig(failure_threshold=10),
+        )
+        assert drive(clock, guarded.deliver(delivery())) is False
+        assert guarded.stats.attempts == 3
+        assert guarded.stats.failures == 3
+        assert guarded.stats.retries == 2
+        assert guarded.stats.exhausted == 1
+        assert clock.now() > 0.0  # jittered backoff elapsed on the clock
+
+    def test_stalled_sink_times_out_on_the_service_clock(self):
+        clock = SimulatedClock()
+
+        async def stalled(_delivery):
+            await clock.sleep(120.0)
+
+        policy = SinkPolicy(timeout_seconds=5.0, max_attempts=2)
+        guarded = self._guarded(
+            stalled,
+            clock,
+            policy=policy,
+            breaker=CircuitBreakerConfig(failure_threshold=10),
+        )
+        assert drive(clock, guarded.deliver(delivery())) is False
+        assert guarded.stats.timeouts == 2
+        # Two 5s timeout windows elapsed (plus jittered backoff), not 240s.
+        assert 10.0 <= clock.now() < 120.0
+
+    def test_breaker_opens_and_fails_fast(self):
+        clock = SimulatedClock()
+        calls = []
+
+        def bad(_delivery):
+            calls.append(clock.now())
+            raise RuntimeError("down")
+
+        guarded = self._guarded(
+            bad,
+            clock,
+            policy=SinkPolicy(max_attempts=1),
+            breaker=CircuitBreakerConfig(failure_threshold=2, cooldown_skips=4),
+        )
+
+        async def scenario():
+            results = []
+            for _ in range(4):
+                results.append(await guarded.deliver(delivery()))
+            return results
+
+        assert drive(clock, scenario()) == [False, False, False, False]
+        assert guarded.breaker_state is BreakerState.OPEN
+        # Third and fourth deliveries were refused without touching the sink.
+        assert len(calls) == 2
+        assert guarded.stats.breaker_skips == 2
+
+    def test_half_open_admits_one_probe_across_concurrent_deliveries(self):
+        """The async regression the breaker latch exists for: two
+        deliveries racing a half-open breaker must produce one probe."""
+        clock = SimulatedClock()
+        attempts = []
+
+        async def recovering(d):
+            attempts.append(d.item.item_id)
+            if len(attempts) == 1:
+                raise RuntimeError("first call fails")
+            await clock.sleep(1.0)  # hold the probe in flight
+
+        guarded = self._guarded(
+            recovering,
+            clock,
+            policy=SinkPolicy(max_attempts=1, timeout_seconds=30.0),
+            breaker=CircuitBreakerConfig(failure_threshold=1, cooldown_skips=1),
+        )
+
+        async def scenario():
+            first = await guarded.deliver(delivery(0))
+            skipped = await guarded.deliver(delivery(9))  # cooldown window
+            racing = [
+                asyncio.ensure_future(guarded.deliver(delivery(1))),
+                asyncio.ensure_future(guarded.deliver(delivery(2))),
+            ]
+            return first, skipped, await asyncio.gather(*racing)
+
+        first, skipped, raced = drive(clock, scenario())
+        assert first is False  # opened the breaker
+        assert skipped is False  # refused during cooldown
+        # Exactly one of the racers was the probe; the other was refused.
+        assert sorted(raced) == [False, True]
+        assert len(attempts) == 2  # opener + single probe
+        assert guarded.stats.breaker_skips == 2  # cooldown + latch refusal
+        assert guarded.breaker_state is BreakerState.CLOSED
+
+
+class TestRoundLoopHooks:
+    def test_level_cap_limits_selected_presentation_levels(self):
+        capped = make_loop()
+        free = make_loop()
+        for loop in (capped, free):
+            for i in range(4):
+                loop.enqueue(item(i, utility=0.9))
+        capped.level_cap = 1
+        capped_result = capped.run_round(60.0, 60.0)
+        free_result = free.run_round(60.0, 60.0)
+        assert capped_result.deliveries, "expected deliveries on open WiFi"
+        assert all(d.level <= 1 for d in capped_result.deliveries)
+        # The cap binds: without it the same queue picks richer levels.
+        assert max(d.level for d in free_result.deliveries) > 1
+
+    def test_observers_see_every_round_result(self):
+        loop = make_loop()
+        loop.enqueue(item(0))
+        seen = []
+        loop.add_observer(lambda lp, result: seen.append((lp, result)))
+        result = loop.run_round(60.0, 60.0)
+        assert seen == [(loop, result)]
+
+
+class TestServiceAdmission:
+    def _service(self, config=None, users=(1, 2)):
+        clock = SimulatedClock()
+        service = NotificationService(
+            loop_factory=make_loop,
+            user_ids=list(users),
+            config=config or ServiceConfig(queue_bound=2),
+            clock=clock,
+        )
+        return service, clock
+
+    def _ingest(self, service, *items):
+        async def scenario():
+            return [await service.ingest(it) for it in items]
+
+        return asyncio.run(scenario())
+
+    def test_admits_until_the_bound_then_sheds_explicitly(self):
+        service, _ = self._service()
+        results = self._ingest(
+            service, item(0), item(1), item(2), item(3, user_id=2)
+        )
+        assert [r.outcome for r in results] == [
+            Admission.ADMITTED,
+            Admission.ADMITTED,
+            Admission.SHED_QUEUE_FULL,
+            Admission.ADMITTED,
+        ]
+        overload = results[2]
+        assert overload.overload and not overload.admitted
+        assert overload.queue_depth == 2
+        assert "bound 2" in overload.detail
+        assert service.conservation_error() == 0
+
+    def test_rate_limited_ingest_is_an_explicit_overload(self):
+        config = ServiceConfig(
+            queue_bound=8,
+            rate=RateLimitConfig(per_user_rate=1.0, per_user_burst=1.0),
+        )
+        service, _ = self._service(config=config)
+        results = self._ingest(service, item(0), item(1))
+        assert results[0].admitted
+        assert results[1].outcome is Admission.SHED_RATE_LIMITED
+        assert "user" in results[1].detail
+        assert service.stats.shed_rate_limited == 1
+        assert service.conservation_error() == 0
+
+    def test_shed_and_defer_follow_the_ladder(self):
+        service, _ = self._service(config=ServiceConfig(queue_bound=4))
+        service.controller.update(0.0, occupancy=0.8)  # DEFER
+        deferred = self._ingest(service, item(0))[0]
+        assert deferred.outcome is Admission.DEFERRED
+        assert service.deferred_pending == 1
+        service.controller.update(1.0, occupancy=0.95)  # SHED
+        shed = self._ingest(service, item(1))[0]
+        assert shed.outcome is Admission.SHED_OVERLOAD
+        assert service.conservation_error() == 0
+
+    def test_service_requires_users_and_single_run(self):
+        with pytest.raises(ValueError, match="at least one user"):
+            NotificationService(loop_factory=make_loop, user_ids=[])
+        service, clock = self._service()
+
+        async def run_twice():
+            await service.run(rounds=1)
+            await service.run(rounds=1)
+
+        with pytest.raises(RuntimeError, match="already ran"):
+            drive(clock, run_twice())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="round_seconds"):
+            ServiceConfig(round_seconds=0.0)
+        with pytest.raises(ValueError, match="queue_bound"):
+            ServiceConfig(queue_bound=0)
+
+
+class TestServiceRuns:
+    def test_sinkless_run_delivers_and_conserves(self):
+        clock = SimulatedClock()
+        service = NotificationService(
+            loop_factory=make_loop,
+            user_ids=[1, 2],
+            config=ServiceConfig(round_seconds=60.0, queue_bound=8, seed=3),
+            clock=clock,
+        )
+
+        async def scenario():
+            run_task = asyncio.ensure_future(service.run(rounds=2))
+            for i in range(4):
+                await service.ingest(item(i, user_id=1 + i % 2))
+            await run_task
+
+        drive(clock, scenario())
+        accounting = service.accounting()
+        assert accounting["ingested"] == 4
+        assert accounting["error"] == 0
+        assert accounting["delivered"] + accounting["pending"] == 4
+        assert service.stats.rounds_run == 4  # 2 users x 2 rounds
+        assert service.health().healthy
+
+    def test_deferred_events_readmit_when_pressure_clears(self):
+        clock = SimulatedClock()
+        service = NotificationService(
+            loop_factory=make_loop,
+            user_ids=[1],
+            config=ServiceConfig(round_seconds=60.0, queue_bound=8, seed=3),
+            clock=clock,
+        )
+        service.controller.update(0.0, occupancy=0.8)  # start at DEFER
+
+        async def scenario():
+            run_task = asyncio.ensure_future(service.run(rounds=2))
+            for i in range(3):
+                await service.ingest(item(i))
+            await run_task
+
+        drive(clock, scenario())
+        # Pressure cleared on the first tick; the parked events flowed
+        # back through _admit and on to delivery.
+        assert service.stats.deferred_total == 3
+        assert service.stats.readmitted == 3
+        assert service.deferred_pending == 0
+        assert service.conservation_error() == 0
+        assert service.stats.delivered + service.accounting()["pending"] == 3
+
+
+@pytest.mark.chaos
+class TestFlashCrowdChaos:
+    """The tentpole acceptance gate, on the deterministic clock."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_demo(DemoConfig(users=12, rounds=12))
+
+    def test_conservation_is_exact(self, run):
+        accounting = run.service.accounting()
+        assert accounting["error"] == 0
+        assert accounting["ingested"] == len(run.ingest_results)
+        total = (
+            accounting["delivered"]
+            + accounting["shed"]
+            + accounting["dead_lettered"]
+            + accounting["deferred_pending"]
+            + accounting["pending"]
+        )
+        assert total == accounting["ingested"]
+
+    def test_queues_never_exceed_their_bound(self, run):
+        bound = run.service.config.queue_bound
+        assert run.service.frontier.high_water() <= bound
+        assert run.service.frontier.high_water() > 0
+
+    def test_overloads_are_explicit_results(self, run):
+        by_outcome: dict[Admission, int] = {}
+        for result in run.ingest_results:
+            by_outcome[result.outcome] = by_outcome.get(result.outcome, 0) + 1
+        stats = run.service.stats
+        assert len(run.ingest_results) == stats.ingested
+        assert (
+            by_outcome.get(Admission.SHED_RATE_LIMITED, 0)
+            == stats.shed_rate_limited
+        )
+        assert by_outcome.get(Admission.SHED_OVERLOAD, 0) == stats.shed_overload
+        assert by_outcome.get(Admission.DEFERRED, 0) == stats.deferred_total
+        # Readmitted deferrals re-enter through _admit without surfacing a
+        # second IngestResult, so admitted/shed_queue_full only balance
+        # once the readmission flow is folded back in.
+        assert stats.admitted + stats.shed_queue_full == (
+            by_outcome.get(Admission.ADMITTED, 0)
+            + by_outcome.get(Admission.SHED_QUEUE_FULL, 0)
+            + stats.readmitted
+        )
+        assert stats.readmitted == (
+            stats.deferred_total - run.service.deferred_pending
+        )
+        # The flash crowd actually overflowed something.
+        assert stats.shed > 0
+        assert any(r.overload for r in run.ingest_results)
+
+    def test_ladder_escalates_and_recovers(self, run):
+        controller = run.service.controller
+        assert controller.max_level >= PressureLevel.DEFER
+        assert controller.level is PressureLevel.NORMAL  # recovered
+        assert len(controller.transitions) >= 2
+        assert run.service.stats.readmitted > 0
+
+    def test_latency_is_bounded_under_overload(self, run):
+        stats = run.service.stats
+        assert stats.delivered > 0
+        p50 = stats.latency_quantile(0.5)
+        p99 = stats.latency_quantile(0.99)
+        assert 0.0 < p50 <= p99
+        # Bounded queues + TTL dead-lettering keep the tail under the
+        # run's TTL; unbounded queueing would blow far past it.
+        assert p99 <= DemoConfig().ttl_seconds
+
+    def test_payload_matches_service_state(self, run):
+        payload = run.payload
+        assert payload["schema"] == "richnote-bench-service/1"
+        assert payload["accounting"]["error"] == 0
+        assert payload["throughput"]["delivered"] == run.service.stats.delivered
+        assert payload["latency_s"]["count"] == run.service.stats.delivered
+        assert payload["pressure"]["max_level"] == run.service.controller.max_level.name
+        assert payload["meta"]["users"] == 12
