@@ -39,16 +39,45 @@ Code       Name              What it catches
                              function marked ``@conserves`` (skips the refund
                              path, breaking ``debited == delivered + refunded
                              + wasted``)
+``RL601``  layering          imports that violate the layer order (``core``
+                             must not import ``service``, etc.)
+``RL701``  blocking-in-async   a known-blocking call (``time.sleep``, ``open``,
+                             ``subprocess.*`` ...) reachable inside an ``async
+                             def`` -- directly or through a chain of sync
+                             project helpers (flow-aware: dead code is ignored)
+``RL702``  unawaited-coroutine  a coroutine created but never awaited: a bare
+                             ``worker()`` expression statement, or a coroutine
+                             assigned to a name that is never read
+``RL703``  fire-and-forget-task  ``asyncio.ensure_future(...)`` /
+                             ``create_task(...)`` whose handle is discarded --
+                             the event loop holds only weak task references,
+                             so the task can be garbage-collected mid-flight
+``RL704``  await-under-sync-lock  an ``await`` while holding a ``threading``
+                             lock (``with lock:`` around an await, or an
+                             ``acquire()`` with an await before ``release()``)
+``RL705``  unguarded-shared-state  instance state written from two or more
+                             task contexts (spawned tasks / async entry
+                             points) with no declared write discipline
 =========  ================  ==================================================
 
-Rule families are selectable as ``R1`` .. ``R5`` (prefix groups).  Findings
+Rule families are selectable as ``R1`` .. ``R7`` (prefix groups).  Findings
 are suppressed inline with ``# richlint: ignore[RL204] -- reason`` (same
 line or the comment line directly above), or parked in a baseline file so
 existing debt does not block CI.
 
+The R7 family is *flow-aware*: rules consult per-function control-flow
+graphs (:mod:`repro.analysis.cfg`) and a cross-module call graph
+(:mod:`repro.analysis.callgraph`) built during the index pass, instead of
+pattern-matching isolated AST nodes.  RL705 accepts a declaration-site
+marker -- ``self.stats = ServiceStats()  # richlint: guarded-by(event-loop)``
+-- naming the discipline (an event-loop-confined write set, a lock, a
+single-writer queue) that makes the shared writes safe.
+
 Entry points: ``python -m repro.analysis`` and ``richnote lint``.
 """
 
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.engine import (
     AnalysisReport,
     Finding,
@@ -57,12 +86,19 @@ from repro.analysis.engine import (
     default_rules,
 )
 from repro.analysis.markers import conserves
+from repro.analysis.sarif import render_sarif, write_sarif
 
 __all__ = [
     "AnalysisReport",
+    "CallGraph",
+    "ControlFlowGraph",
     "Finding",
     "analyze_paths",
     "analyze_source",
+    "build_call_graph",
+    "build_cfg",
     "conserves",
     "default_rules",
+    "render_sarif",
+    "write_sarif",
 ]

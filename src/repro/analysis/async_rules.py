@@ -1,0 +1,632 @@
+"""R7: async safety for the live service's event-loop hot path.
+
+The live notification pipeline (:mod:`repro.service`) is an asyncio
+program whose p99 delivery latency depends on the event loop never
+stalling and no task silently vanishing.  Five flow-aware rules guard
+it, built on :mod:`repro.analysis.cfg` (per-function CFGs + reaching
+definitions) and :mod:`repro.analysis.callgraph` (the cross-module
+pass-1 index):
+
+* ``RL701`` -- a blocking call (``time.sleep``, sync ``open``,
+  ``subprocess``, sockets ...) *reachable* inside an ``async def``.
+  Calls to project functions are resolved through the call graph, so a
+  sync helper two modules away that ends in ``time.sleep`` also trips,
+  with the call chain in the message.  Dead code after a ``return`` is
+  not flagged -- that is the CFG earning its keep.
+* ``RL702`` -- a coroutine created but never awaited: a bare-expression
+  call to an ``async def`` (or asyncio awaitable factory), or a
+  coroutine assigned to a name that is never used again.  The coroutine
+  object is garbage-collected without running; the work silently never
+  happens.
+* ``RL703`` -- fire-and-forget task: ``asyncio.ensure_future(...)`` /
+  ``create_task(...)`` as a bare expression statement.  The event loop
+  keeps only a *weak* reference to tasks, so a discarded handle can be
+  garbage-collected mid-flight -- deliveries evaporate under load.
+  Retain the handle (``self._delivery_tasks.append(...)``).
+* ``RL704`` -- ``await`` while holding a synchronous lock
+  (``threading.Lock`` et al.), either inside ``with lock:`` or on a CFG
+  path between ``lock.acquire()`` and ``lock.release()``.  A sync lock
+  held across a suspension point blocks every other task that touches
+  it -- the textbook asyncio deadlock.
+* ``RL705`` -- shared mutable ``self.<attr>`` state written from two or
+  more concurrent task contexts of the same class (spawned task roots
+  and externally-driven ``async def`` entry points, per the call graph)
+  without a ``# richlint: guarded-by(<name>)`` annotation on any of its
+  write sites.  The annotation names the discipline that serializes the
+  writes (``event-loop``, a specific lock, ...) -- the async twin of the
+  ``@conserves`` marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis._names import ImportMap, terminal_name
+from repro.analysis.callgraph import (
+    ASYNC_STDLIB,
+    TASK_SPAWNERS,
+    is_blocking_target,
+    iter_functions,
+    module_dotted,
+    own_nodes,
+    resolve_target,
+)
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
+
+#: Constructors of locks that block the calling *thread* (not the task).
+_SYNC_LOCK_CTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "_thread.allocate_lock",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+_GUARDED_BY_RE = re.compile(
+    r"#\s*richlint:\s*guarded-by\(\s*(?P<name>[^)]+?)\s*\)"
+)
+
+
+def parse_guards(lines: list[str]) -> dict[int, str]:
+    """Line -> guard name for every ``# richlint: guarded-by(...)``.
+
+    Like suppressions, a guard on a pure comment line also covers the
+    line directly below it.
+    """
+    guards: dict[int, str] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _GUARDED_BY_RE.search(text)
+        if match is None:
+            continue
+        name = match.group("name").strip()
+        guards[number] = name
+        if text.lstrip().startswith("#"):
+            guards.setdefault(number + 1, name)
+    return guards
+
+
+class _ModuleContext:
+    """Per-module resolution state shared by the R7 rules."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.dotted = module_dotted(module.relpath)
+        self.imports = ImportMap(module.tree)
+        self.local_names = frozenset(
+            node.name
+            for node in module.tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        )
+        #: (class name, attr) -> True for ``self.X = threading.Lock()``
+        #: style bindings anywhere in the class body.
+        self.class_locks: set[tuple[str, str]] = set()
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not self.is_sync_lock_ctor(sub.value):
+                    continue
+                for target in sub.targets:
+                    attr = _self_attr_root(target)
+                    if attr is not None:
+                        self.class_locks.add((node.name, attr))
+
+    def resolve(self, call: ast.Call, class_name: str | None) -> str | None:
+        return resolve_target(
+            call, self.imports, self.dotted, class_name, self.local_names
+        )
+
+    def is_sync_lock_ctor(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and self.resolve(expr, None) in _SYNC_LOCK_CTORS
+        )
+
+    def is_sync_lock(
+        self,
+        expr: ast.expr,
+        class_name: str | None,
+        cfg: ControlFlowGraph,
+        assigns: dict[int, ast.stmt],
+    ) -> bool:
+        """Whether ``expr`` evaluates to a synchronous lock here.
+
+        Three resolutions, in order: a direct constructor call, a local
+        name whose *reaching definitions* include a lock construction
+        (the reaching-defs analysis doing real work), or ``self.X``
+        bound to a lock anywhere in the enclosing class.
+        """
+        if self.is_sync_lock_ctor(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            for definition in cfg.definitions_reaching(expr):
+                stmt = assigns.get(definition.site)
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and self.is_sync_lock_ctor(stmt.value)
+                ):
+                    return True
+            return False
+        attr = _self_attr_root(expr)
+        return (
+            attr is not None
+            and expr_is_simple_self_attr(expr)
+            and class_name is not None
+            and (class_name, attr) in self.class_locks
+        )
+
+
+def expr_is_simple_self_attr(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    )
+
+
+def _self_attr_root(node: ast.expr) -> str | None:
+    """The first attribute after ``self`` in any chain rooted at it.
+
+    ``self.stats.ingested`` -> ``stats``; ``self._q[k]`` -> ``_q``;
+    anything not rooted at ``self`` -> None.
+    """
+    current = node
+    attr: str | None = None
+    while True:
+        if isinstance(current, ast.Attribute):
+            attr = current.attr
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            return attr if current.id == "self" else None
+        else:
+            return None
+
+
+def _assign_sites(func: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[int, ast.stmt]:
+    """id(stmt) -> stmt for the function's own statements (def-site lookup)."""
+    sites: dict[int, ast.stmt] = {}
+    for node in own_nodes(func):
+        if isinstance(node, ast.stmt):
+            sites[id(node)] = node
+    for stmt in func.body:
+        sites[id(stmt)] = stmt
+    return sites
+
+
+def _own_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    for node in own_nodes(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class BlockingCallInAsyncRule(Rule):
+    code = "RL701"
+    name = "blocking-in-async"
+    summary = "blocking call reachable inside an async def"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        context = _ModuleContext(module)
+        for func, class_name in iter_functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            cfg = build_cfg(func)
+            for call in _own_calls(func):
+                if not cfg.is_reachable(call):
+                    continue
+                target = context.resolve(call, class_name)
+                if target is None:
+                    continue
+                if is_blocking_target(target):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{target}() blocks the event loop inside async def "
+                        f"{func.name}(); every other task stalls behind it -- "
+                        "use the asyncio equivalent (asyncio.sleep, "
+                        "asyncio.to_thread, aiofiles ...)",
+                    )
+                    continue
+                info = index.calls.lookup(target)
+                if info is None or info.is_async:
+                    continue
+                chain = index.calls.blocking_chain(target)
+                if chain is not None:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"call into {target}() blocks the event loop inside "
+                        f"async def {func.name}() via "
+                        f"{' -> '.join(chain)}; run it in a worker "
+                        "(asyncio.to_thread) or make the chain async",
+                    )
+
+
+class UnawaitedCoroutineRule(Rule):
+    code = "RL702"
+    name = "unawaited-coroutine"
+    summary = "coroutine created but never awaited"
+
+    def _is_coroutine_call(
+        self, call: ast.Call, context: _ModuleContext,
+        class_name: str | None, index: ProjectIndex,
+    ) -> str | None:
+        target = context.resolve(call, class_name)
+        if target is None:
+            return None
+        if target in ASYNC_STDLIB or index.calls.is_async(target):
+            return target
+        return None
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        context = _ModuleContext(module)
+        for func, class_name in iter_functions(module.tree):
+            loaded_names = {
+                node.id
+                for node in ast.walk(func)
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+            }
+            for node in own_nodes(func):
+                if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Call
+                ):
+                    target = self._is_coroutine_call(
+                        node.value, context, class_name, index
+                    )
+                    if target is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"{target}() returns a coroutine that is never "
+                            "awaited: the call builds the coroutine object "
+                            "and discards it, so the body never runs -- "
+                            "await it or spawn it as a task",
+                        )
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    name = node.targets[0].id
+                    target = self._is_coroutine_call(
+                        node.value, context, class_name, index
+                    )
+                    if target is not None and name not in loaded_names:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"coroutine {target}() is assigned to "
+                            f"{name!r} but {name!r} is never used: the "
+                            "coroutine is garbage-collected without "
+                            "running -- await it or pass it to a task",
+                        )
+
+
+class FireAndForgetTaskRule(Rule):
+    code = "RL703"
+    name = "fire-and-forget-task"
+    summary = "task spawned as a bare expression; its handle is discarded"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        context = _ModuleContext(module)
+        for func, class_name in iter_functions(module.tree):
+            for node in own_nodes(func):
+                if not (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                call = node.value
+                target = context.resolve(call, class_name)
+                spawner = (
+                    target in TASK_SPAWNERS
+                    or terminal_name(call.func) in ("create_task", "ensure_future")
+                )
+                if spawner:
+                    label = target or terminal_name(call.func)
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{label}(...) spawns a task but discards its "
+                        "handle; the event loop holds only a weak "
+                        "reference, so the task can be garbage-collected "
+                        "mid-flight -- retain it (e.g. append to a task "
+                        "list) and await/reap it later",
+                    )
+
+
+class AwaitUnderSyncLockRule(Rule):
+    code = "RL704"
+    name = "await-under-sync-lock"
+    summary = "await while holding a synchronous (threading) lock"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        context = _ModuleContext(module)
+        for func, class_name in iter_functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            cfg = build_cfg(func)
+            assigns = _assign_sites(func)
+            yield from self._with_blocks(module, context, func, class_name, cfg, assigns)
+            yield from self._acquire_paths(module, context, func, class_name, cfg, assigns)
+
+    def _with_blocks(self, module, context, func, class_name, cfg, assigns):
+        for node in own_nodes(func):
+            if not isinstance(node, ast.With):
+                continue
+            held = [
+                item.context_expr
+                for item in node.items
+                if context.is_sync_lock(
+                    item.context_expr, class_name, cfg, assigns
+                )
+            ]
+            if not held:
+                continue
+            if any(
+                isinstance(inner, ast.Await)
+                for stmt in node.body
+                for inner in _walk_no_nested(stmt)
+            ):
+                lock_src = ast.unparse(held[0])
+                yield self.finding(
+                    module,
+                    node,
+                    f"await inside `with {lock_src}:`: a synchronous lock "
+                    "held across a suspension point stalls every task "
+                    "that touches it -- use asyncio.Lock, or release "
+                    "before awaiting",
+                )
+
+    def _acquire_paths(self, module, context, func, class_name, cfg, assigns):
+        acquires: list[tuple[ast.stmt, ast.Call, str]] = []
+        for node in own_nodes(func):
+            if not (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr == "acquire"
+            ):
+                continue
+            base = node.value.func.value
+            if context.is_sync_lock(base, class_name, cfg, assigns):
+                acquires.append((node, node.value, ast.unparse(base)))
+        for stmt, call, base_src in acquires:
+            if self._await_while_held(stmt, base_src, cfg):
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"await on a path between {base_src}.acquire() and "
+                    f"{base_src}.release(): the synchronous lock stays "
+                    "held across the suspension -- use asyncio.Lock, or "
+                    "release before awaiting",
+                )
+
+    def _await_while_held(
+        self, acquire_stmt: ast.stmt, base_src: str, cfg: ControlFlowGraph
+    ) -> bool:
+        """BFS from the acquire block until matching ``release()`` blocks."""
+        start = cfg.block_of(acquire_stmt)
+        if start is None:
+            return False
+
+        def releases(block_index: int) -> int | None:
+            """Line of the first matching release in the block, if any."""
+            for stmt in cfg.blocks[block_index].statements:
+                for node in _walk_no_nested(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "release"
+                        and ast.unparse(node.func.value) == base_src
+                    ):
+                        return node.lineno
+            return None
+
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            index = frontier.pop()
+            released_at = releases(index)
+            low = acquire_stmt.lineno if index == start else 0
+            high = released_at if released_at is not None else float("inf")
+            for stmt in cfg.blocks[index].statements:
+                for node in _walk_no_nested(stmt):
+                    if (
+                        isinstance(node, ast.Await)
+                        and low < node.lineno
+                        and node.lineno <= high
+                    ):
+                        return True
+            if released_at is not None:
+                continue  # lock released: do not cross into successors
+            for successor in cfg.blocks[index].successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+
+class UnguardedSharedStateRule(Rule):
+    code = "RL705"
+    name = "unguarded-shared-state"
+    summary = "shared service state written from multiple tasks, no guard marker"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+        context = _ModuleContext(module)
+        guards = parse_guards(module.lines)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, context, index, node, guards)
+
+    def _check_class(self, module, context, index, cls, guards):
+        prefix = f"{context.dotted}.{cls.name}."
+        infos = index.calls.class_methods(module.relpath, cls.name)
+        if not infos:
+            return
+        by_name = {info.name: info for info in infos}
+        method_nodes = {
+            child.name: child
+            for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        def suffix(qualname: str) -> str | None:
+            return qualname[len(prefix):] if qualname.startswith(prefix) else None
+
+        spawned = {
+            name
+            for info in infos
+            for name in map(suffix, info.spawns)
+            if name in by_name
+        }
+        called_by_others = {
+            name
+            for info in infos
+            for name in (suffix(call.target) for call in info.calls)
+            if name in by_name and name != info.name
+        }
+        async_entries = {
+            info.name
+            for info in infos
+            if info.is_async and info.name not in called_by_others
+        }
+        roots = spawned | async_entries
+        if len(roots) < 2:
+            return
+
+        reach: dict[str, set[str]] = {}
+        for root in roots:
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                info = by_name.get(current)
+                if info is None:
+                    continue
+                for call in info.calls:
+                    callee = suffix(call.target)
+                    if callee in by_name and callee not in seen:
+                        seen.add(callee)
+                        frontier.append(callee)
+            reach[root] = seen
+
+        # (attr) -> [(method, first write stmt)], plus guard detection over
+        # every write site in the class (including __init__).
+        writes: dict[str, dict[str, ast.stmt]] = {}
+        guarded: dict[str, str] = {}
+        for name, func in method_nodes.items():
+            for stmt, attr in _self_writes(func):
+                guard = guards.get(stmt.lineno)
+                if guard is not None:
+                    guarded.setdefault(attr, guard)
+                writes.setdefault(attr, {}).setdefault(name, stmt)
+
+        for attr in sorted(writes):
+            if attr in guarded:
+                continue
+            writers = writes[attr]
+            contexts = sorted(
+                root for root in roots if reach[root] & set(writers)
+            )
+            if len(contexts) < 2:
+                continue
+            for method_name in sorted(writers):
+                if not any(method_name in reach[root] for root in roots):
+                    continue  # construction-time writes (__init__ etc.)
+                yield self.finding(
+                    module,
+                    writers[method_name],
+                    f"self.{attr} is written from {len(contexts)} concurrent "
+                    f"task contexts ({', '.join(contexts)}) with no guard "
+                    "annotation; serialize access or mark the write site "
+                    "with `# richlint: guarded-by(<discipline>)`",
+                )
+
+
+def _walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a statement without descending into nested function bodies."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield from _walk_no_nested(child)
+
+
+def _self_writes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.stmt, str]]:
+    """(statement, root attr) for every write to ``self.<attr>...``."""
+    for node in own_nodes(func):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                for leaf in _unpack_targets(target):
+                    attr = _self_attr_root(leaf)
+                    if attr is not None:
+                        yield node, attr
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr_root(target)
+                if attr is not None:
+                    yield node, attr
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _MUTATORS
+            ):
+                attr = _self_attr_root(call.func.value)
+                if attr is not None:
+                    yield node, attr
+
+
+def _unpack_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _unpack_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _unpack_targets(target.value)
+    else:
+        yield target

@@ -1,0 +1,315 @@
+"""Pass-1 project call graph: who is async, who blocks, who spawns tasks.
+
+The flow-aware rules need cross-module facts that no single AST walk can
+see: an ``async def`` in ``service/server.py`` that calls a helper in
+another module is only safe if that helper never blocks the event loop.
+:func:`build_call_graph` runs over every parsed module and records, per
+function:
+
+* whether it is ``async def``;
+* every call target, canonicalized through the module's imports
+  (``from repro.x import helper`` + ``helper()`` resolves to
+  ``repro.x.helper``), with plain local calls qualified by the module's
+  own dotted name and ``self.method()`` calls by the enclosing class;
+* the *directly blocking* calls it makes (``time.sleep``, sync
+  ``open``, ``subprocess``, sockets ...);
+* the coroutines it spawns as tasks (``asyncio.ensure_future`` /
+  ``create_task``).
+
+:meth:`CallGraph.blocking_chain` then propagates blocking-ness through
+*synchronous* project calls to a fixpoint: a sync function that calls a
+sync function that calls ``time.sleep`` is itself blocking, and awaiting
+an ``async def`` never is (the event loop keeps running).  The chain of
+qualnames from the queried function down to the primitive blocking call
+is preserved so findings can show the path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.analysis._names import ImportMap, resolve_call_target
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleInfo
+
+#: Exact dotted call targets that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "input",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "select.select",
+    }
+)
+
+#: Dotted prefixes whose every member is treated as blocking.
+BLOCKING_PREFIXES = (
+    "subprocess.",
+    "requests.",
+    "http.client.",
+)
+
+#: Call targets that create a Task from a coroutine.
+TASK_SPAWNERS = frozenset({"asyncio.ensure_future", "asyncio.create_task"})
+
+#: asyncio awaitable factories: calling one returns a coroutine/future
+#: that must be awaited (or spawned) to have any effect.
+ASYNC_STDLIB = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.to_thread",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+    }
+)
+
+
+def module_dotted(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/service/server.py`` -> ``repro.service.server``;
+    fixture files resolve to their stem so single-file analysis works.
+    """
+    parts = list(PurePosixPath(relpath).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    return ".".join(parts)
+
+
+def is_blocking_target(target: str) -> bool:
+    """Whether a canonical dotted call target is a known-blocking primitive."""
+    return target in BLOCKING_CALLS or target.startswith(BLOCKING_PREFIXES)
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """One directly blocking call site inside a function."""
+
+    target: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call from a function to a dotted target."""
+
+    target: str
+    line: int
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Everything pass 1 learned about one function definition."""
+
+    qualname: str
+    module: str  # relpath of the defining module
+    name: str
+    line: int
+    is_async: bool
+    class_name: str | None
+    calls: tuple[CallSite, ...]
+    blocking_calls: tuple[BlockingCall, ...]
+    #: Qualnames of coroutines this function hands to ensure_future /
+    #: create_task (its spawned task roots).
+    spawns: tuple[str, ...]
+
+
+@dataclass
+class CallGraph:
+    """Project-wide function facts, keyed by dotted qualname."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    _blocking: dict[str, tuple[str, ...]] | None = None
+
+    def lookup(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def is_async(self, qualname: str) -> bool:
+        info = self.functions.get(qualname)
+        return info is not None and info.is_async
+
+    def class_methods(self, module: str, class_name: str) -> list[FunctionInfo]:
+        return [
+            info
+            for info in self.functions.values()
+            if info.module == module and info.class_name == class_name
+        ]
+
+    def blocking_chain(self, qualname: str) -> tuple[str, ...] | None:
+        """The call chain by which ``qualname`` blocks, or None.
+
+        The chain runs from the function itself down to the primitive
+        blocking target, e.g. ``("repro.x.outer", "repro.x.inner",
+        "time.sleep")``.  Only *synchronous* project calls propagate:
+        an ``async def`` callee suspends instead of blocking.
+        """
+        if self._blocking is None:
+            self._blocking = self._propagate_blocking()
+        return self._blocking.get(qualname)
+
+    def _propagate_blocking(self) -> dict[str, tuple[str, ...]]:
+        chains: dict[str, tuple[str, ...]] = {}
+        for qualname, info in self.functions.items():
+            if info.blocking_calls:
+                chains[qualname] = (qualname, info.blocking_calls[0].target)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                if qualname in chains:
+                    continue
+                for call in info.calls:
+                    callee = self.functions.get(call.target)
+                    if callee is None or callee.is_async:
+                        continue
+                    tail = chains.get(call.target)
+                    if tail is not None:
+                        chains[qualname] = (qualname, *tail)
+                        changed = True
+                        break
+        return chains
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """(function node, enclosing class name) pairs, at any nesting depth."""
+
+    def walk(node: ast.AST, class_name: str | None) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                yield from walk(child, class_name)
+            else:
+                yield from walk(child, class_name)
+
+    yield from walk(tree, None)
+
+
+def own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Nodes of the function body, excluding nested function/class bodies."""
+
+    def walk(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            yield child
+            yield from walk(child)
+
+    for stmt in func.body:
+        yield stmt
+        yield from walk(stmt)
+
+
+def resolve_target(
+    call: ast.Call,
+    imports: ImportMap,
+    module: str,
+    class_name: str | None,
+    local_names: frozenset[str],
+) -> str | None:
+    """Canonical dotted target of a call, qualified for project locals.
+
+    ``self.method()`` -> ``<module>.<Class>.method``; a bare name that is
+    defined at the module's top level -> ``<module>.<name>``; everything
+    else falls back to the import-canonicalized dotted path.
+    """
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and class_name is not None
+    ):
+        return f"{module}.{class_name}.{func.attr}"
+    target = resolve_call_target(call, imports)
+    if target is None:
+        return None
+    head = target.partition(".")[0]
+    if target in local_names or (head in local_names and "." not in target):
+        return f"{module}.{target}"
+    return target
+
+
+def build_call_graph(modules: Sequence["ModuleInfo"]) -> CallGraph:
+    """Pass 1: one :class:`FunctionInfo` per function, across all modules."""
+    graph = CallGraph()
+    for module in modules:
+        dotted = module_dotted(module.relpath)
+        imports = ImportMap(module.tree)
+        local_names = frozenset(
+            node.name
+            for node in module.tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        )
+        for func, class_name in iter_functions(module.tree):
+            prefix = f"{dotted}.{class_name}" if class_name else dotted
+            qualname = f"{prefix}.{func.name}"
+            calls: list[CallSite] = []
+            blocking: list[BlockingCall] = []
+            spawns: list[str] = []
+            for node in own_nodes(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = resolve_target(
+                    node, imports, dotted, class_name, local_names
+                )
+                if target is None:
+                    continue
+                calls.append(CallSite(target=target, line=node.lineno))
+                if is_blocking_target(target):
+                    blocking.append(
+                        BlockingCall(
+                            target=target,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+                if target in TASK_SPAWNERS and node.args:
+                    inner = node.args[0]
+                    if isinstance(inner, ast.Call):
+                        spawned = resolve_target(
+                            inner, imports, dotted, class_name, local_names
+                        )
+                        if spawned is not None:
+                            spawns.append(spawned)
+            graph.functions[qualname] = FunctionInfo(
+                qualname=qualname,
+                module=module.relpath,
+                name=func.name,
+                line=func.lineno,
+                is_async=isinstance(func, ast.AsyncFunctionDef),
+                class_name=class_name,
+                calls=tuple(calls),
+                blocking_calls=tuple(blocking),
+                spawns=tuple(spawns),
+            )
+    return graph

@@ -1,0 +1,454 @@
+"""Per-function control-flow graphs and reaching definitions.
+
+The first richlint generation inspected one AST node at a time; the
+RL7xx async-safety family needs to answer questions *about paths*: is
+this blocking call actually reachable, is there an ``await`` between
+``lock.acquire()`` and ``lock.release()``, which binding of ``lock``
+reaches this ``with`` statement.  :func:`build_cfg` lowers one function
+body into basic blocks connected by control-flow edges, and
+:meth:`ControlFlowGraph.reaching_definitions` runs the classic forward
+may-analysis over them.
+
+Scope and approximations (deliberate -- this is a linter, not a
+verifier):
+
+* Nested ``def`` / ``async def`` / ``class`` bodies are *not* inlined:
+  the statement defines a name in the enclosing scope, but its body runs
+  on some other activation, so its statements belong to its own CFG
+  (callers build one per function node).
+* ``try``: every block of the protected body gets an edge to every
+  handler (an exception can surface anywhere), the ``else`` runs only
+  off the body's normal exit, and ``finally`` joins all normal exits.
+  ``return`` / ``raise`` edges go straight to the exit block without
+  detouring through ``finally`` -- conservative for reachability, and
+  the analyses built on top only need may-information.
+* ``while True:`` (a constant-true test) has no fall-through edge, so
+  statements after a break-less infinite loop are correctly unreachable.
+
+Compound statements contribute only their *header* expressions (an
+``if`` test, a ``for`` iterable, a ``with`` context expression) to the
+block that evaluates them; their bodies live in successor blocks.  Every
+header/simple statement -- and each expression node inside it -- is
+mapped back to its block, so rules can ask :meth:`ControlFlowGraph.block_of`
+for any AST node they encounter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Statement kinds that terminate a block by jumping somewhere else.
+_JUMPS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of (shallow) statements."""
+
+    index: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``name`` produced by ``node`` (a statement)."""
+
+    name: str
+    line: int
+    #: id() of the defining statement -- stable within one tree walk.
+    site: int
+
+
+class ControlFlowGraph:
+    """Blocks + edges for one function, with reachability and def queries."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self._node_block: dict[int, int] = {}
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self._reachable: set[int] | None = None
+        self._reaching_in: list[dict[str, frozenset[Definition]]] | None = None
+
+    # -- construction (used by build_cfg only) ---------------------------------
+
+    def _new_block(self) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+            self.blocks[dst].predecessors.append(src)
+
+    def _place(self, block: int, stmt: ast.stmt, exprs: Iterator[ast.expr]) -> None:
+        """Record ``stmt`` (and its owned expressions) as living in ``block``."""
+        self.blocks[block].statements.append(stmt)
+        self._node_block[id(stmt)] = block
+        for expr in exprs:
+            for node in _walk_expr(expr):
+                self._node_block[id(node)] = block
+
+    # -- queries ---------------------------------------------------------------
+
+    def block_of(self, node: ast.AST) -> int | None:
+        """The block that evaluates ``node``, or None for unmapped nodes."""
+        return self._node_block.get(id(node))
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry block."""
+        if self._reachable is None:
+            seen = {self.entry}
+            frontier = [self.entry]
+            while frontier:
+                current = frontier.pop()
+                for successor in self.blocks[current].successors:
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)
+            self._reachable = seen
+        return self._reachable
+
+    def is_reachable(self, node: ast.AST) -> bool:
+        """Whether the statement/expression can execute at all."""
+        block = self.block_of(node)
+        return block is not None and block in self.reachable()
+
+    def reaching_definitions(self) -> list[dict[str, frozenset[Definition]]]:
+        """Per-block *entry* state: name -> definitions that may reach it.
+
+        Standard worklist dataflow: ``in[b] = union(out[p] for p in
+        preds)``, ``out[b] = gen[b] | (in[b] - kill[b])``, to a fixpoint.
+        Function parameters are definitions at the entry block.
+        """
+        if self._reaching_in is not None:
+            return self._reaching_in
+
+        gen_kill: list[dict[str, frozenset[Definition]]] = []
+        for block in self.blocks:
+            state: dict[str, frozenset[Definition]] = {}
+            for stmt in block.statements:
+                for definition in _definitions_of(stmt):
+                    state[definition.name] = frozenset({definition})
+            gen_kill.append(state)
+
+        entry_state: dict[str, frozenset[Definition]] = {}
+        for arg in _parameters(self.func):
+            definition = Definition(
+                name=arg.arg, line=arg.lineno, site=id(arg)
+            )
+            entry_state[arg.arg] = frozenset({definition})
+
+        in_states: list[dict[str, frozenset[Definition]]] = [
+            {} for _ in self.blocks
+        ]
+        out_states: list[dict[str, frozenset[Definition]]] = [
+            {} for _ in self.blocks
+        ]
+        in_states[self.entry] = dict(entry_state)
+
+        worklist = list(range(len(self.blocks)))
+        while worklist:
+            index = worklist.pop(0)
+            merged: dict[str, frozenset[Definition]] = (
+                dict(entry_state) if index == self.entry else {}
+            )
+            for pred in self.blocks[index].predecessors:
+                for name, defs in out_states[pred].items():
+                    merged[name] = merged.get(name, frozenset()) | defs
+            in_states[index] = merged
+            out_state = dict(merged)
+            out_state.update(gen_kill[index])  # gen kills same-name defs
+            if out_state != out_states[index]:
+                out_states[index] = out_state
+                for successor in self.blocks[index].successors:
+                    if successor not in worklist:
+                        worklist.append(successor)
+
+        self._reaching_in = in_states
+        return in_states
+
+    def definitions_reaching(self, node: ast.AST) -> frozenset[Definition]:
+        """Definitions of ``node``'s Name that may be live where it sits.
+
+        ``node`` must be an ``ast.Name`` mapped to a block; bindings made
+        *earlier in the same block* shadow the block-entry state.
+        """
+        if not isinstance(node, ast.Name):
+            return frozenset()
+        block = self.block_of(node)
+        if block is None:
+            return frozenset()
+        state = dict(self.reaching_definitions()[block])
+        for stmt in self.blocks[block].statements:
+            if stmt.lineno >= getattr(node, "lineno", 0):
+                break
+            for definition in _definitions_of(stmt):
+                state[definition.name] = frozenset({definition})
+        return state.get(node.id, frozenset())
+
+
+def _walk_expr(expr: ast.expr) -> Iterator[ast.AST]:
+    """All nodes of an owned expression, skipping lambda bodies (their
+    calls run on a later activation, not where the lambda is built)."""
+    yield expr
+    if isinstance(expr, ast.Lambda):
+        return
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            yield from _walk_expr(child)
+        else:  # comprehension clauses, keywords, slices ...
+            yield child
+            for grandchild in ast.walk(child):
+                if grandchild is not child:
+                    yield grandchild
+
+
+def _parameters(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    args = func.args
+    extra = [a for a in (args.vararg, args.kwarg) if a is not None]
+    return [*args.posonlyargs, *args.args, *args.kwonlyargs, *extra]
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _definitions_of(stmt: ast.stmt) -> Iterator[Definition]:
+    """Shallow name bindings a placed statement produces."""
+
+    def make(name: str) -> Definition:
+        return Definition(name=name, line=stmt.lineno, site=id(stmt))
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in _target_names(target):
+                yield make(name)
+    elif isinstance(stmt, ast.AugAssign):
+        for name in _target_names(stmt.target):
+            yield make(name)
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            for name in _target_names(stmt.target):
+                yield make(name)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            yield make(name)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    yield make(name)
+    elif isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            yield make(alias.asname or alias.name.split(".")[0])
+    elif isinstance(stmt, ast.ImportFrom):
+        for alias in stmt.names:
+            if alias.name != "*":
+                yield make(alias.asname or alias.name)
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield make(stmt.name)
+    # Walrus bindings inside any header expression also define names.
+    for expr in _header_exprs(stmt):
+        for node in _walk_expr(expr):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                yield Definition(
+                    name=node.target.id, line=stmt.lineno, site=id(stmt)
+                )
+
+
+def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a compound statement evaluates in *its own* block."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        exprs: list[ast.expr] = []
+        for item in stmt.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        return exprs
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Assign):
+        return [*stmt.targets, stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.target] + ([stmt.value] if stmt.value is not None else [])
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Assert):
+        return [stmt.test] + ([stmt.msg] if stmt.msg is not None else [])
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    return []
+
+
+class _Builder:
+    """Lowers one function body into a :class:`ControlFlowGraph`."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = ControlFlowGraph(func)
+        #: (loop_head, loop_after) for continue/break targets.
+        self._loops: list[tuple[int, int]] = []
+
+    def build(self) -> ControlFlowGraph:
+        first = self.cfg._new_block()
+        self.cfg._edge(self.cfg.entry, first)
+        last = self._body(self.cfg.func.body, first)
+        self.cfg._edge(last, self.cfg.exit)
+        return self.cfg
+
+    def _body(self, statements: list[ast.stmt], current: int) -> int:
+        for stmt in statements:
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: int) -> int:
+        place = self.cfg._place
+        if isinstance(stmt, ast.If):
+            place(current, stmt, iter(_header_exprs(stmt)))
+            after = self.cfg._new_block()
+            then_entry = self.cfg._new_block()
+            self.cfg._edge(current, then_entry)
+            self.cfg._edge(self._body(stmt.body, then_entry), after)
+            if stmt.orelse:
+                else_entry = self.cfg._new_block()
+                self.cfg._edge(current, else_entry)
+                self.cfg._edge(self._body(stmt.orelse, else_entry), after)
+            else:
+                self.cfg._edge(current, after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            place(current, stmt, iter(_header_exprs(stmt)))
+            return self._body(stmt.body, current)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            place(current, stmt, iter(_header_exprs(stmt)))
+            after = self.cfg._new_block()
+            self.cfg._edge(current, after)  # no case may match
+            for case in stmt.cases:
+                case_entry = self.cfg._new_block()
+                self.cfg._edge(current, case_entry)
+                self.cfg._edge(self._body(case.body, case_entry), after)
+            return after
+        # Simple statements (incl. nested def/class, which are opaque).
+        place(current, stmt, iter(_header_exprs(stmt)))
+        if isinstance(stmt, _JUMPS):
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self.cfg._edge(current, self.cfg.exit)
+            elif self._loops:
+                head, after = self._loops[-1]
+                self.cfg._edge(
+                    current, head if isinstance(stmt, ast.Continue) else after
+                )
+            return self.cfg._new_block()  # dead until something jumps here
+        return current
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int:
+        head = self.cfg._new_block()
+        self.cfg._edge(current, head)
+        self.cfg._place(head, stmt, iter(_header_exprs(stmt)))
+        after = self.cfg._new_block()
+        body_entry = self.cfg._new_block()
+        self.cfg._edge(head, body_entry)
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        self._loops.append((head, after))
+        body_exit = self._body(stmt.body, body_entry)
+        self._loops.pop()
+        self.cfg._edge(body_exit, head)
+        if stmt.orelse:
+            else_entry = self.cfg._new_block()
+            if not infinite:
+                self.cfg._edge(head, else_entry)
+            self.cfg._edge(self._body(stmt.orelse, else_entry), after)
+        elif not infinite:
+            self.cfg._edge(head, after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int:
+        body_entry = self.cfg._new_block()
+        self.cfg._edge(current, body_entry)
+        first_body_block = len(self.cfg.blocks)
+        body_exit = self._body(stmt.body, body_entry)
+        body_blocks = [body_entry, *range(first_body_block, len(self.cfg.blocks))]
+
+        normal_exits = [body_exit]
+        if stmt.orelse:
+            else_entry = self.cfg._new_block()
+            self.cfg._edge(body_exit, else_entry)
+            normal_exits = [self._body(stmt.orelse, else_entry)]
+
+        handler_exits: list[int] = []
+        for handler in stmt.handlers:
+            handler_entry = self.cfg._new_block()
+            # An exception can surface from any protected block.
+            for block in body_blocks:
+                self.cfg._edge(block, handler_entry)
+            if handler.name:
+                # The bound exception name is a definition at handler entry.
+                binder = ast.Assign(
+                    targets=[
+                        ast.Name(id=handler.name, ctx=ast.Store(), lineno=handler.lineno, col_offset=handler.col_offset)
+                    ],
+                    value=ast.Constant(value=None, lineno=handler.lineno, col_offset=handler.col_offset),
+                    lineno=handler.lineno,
+                    col_offset=handler.col_offset,
+                )
+                self.cfg._place(handler_entry, binder, iter(()))
+            handler_exits.append(self._body(handler.body, handler_entry))
+
+        joins = normal_exits + handler_exits
+        if stmt.finalbody:
+            finally_entry = self.cfg._new_block()
+            for join in joins:
+                self.cfg._edge(join, finally_entry)
+            return self._body(stmt.finalbody, finally_entry)
+        after = self.cfg._new_block()
+        for join in joins:
+            self.cfg._edge(join, after)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """Build the control-flow graph for one function definition."""
+    return _Builder(func).build()
+
+
+def function_nodes(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -22,6 +22,7 @@ from repro.analysis.engine import (
     AnalysisReport,
     analyze_paths,
     default_rules,
+    load_baseline,
     write_baseline,
 )
 
@@ -87,9 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format",
+    )
+    parser.add_argument(
+        "--sarif-out",
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 log to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append baseline-size and suppression stats to the summary",
     )
     parser.add_argument(
         "--show-suppressed",
@@ -121,6 +133,25 @@ def _render_text(report: AnalysisReport, show_suppressed: bool) -> str:
     )
     lines.append(summary)
     return "\n".join(lines)
+
+
+def _render_stats(baseline: Path | None, report: AnalysisReport) -> str:
+    """One-line baseline drift summary for ``richnote lint --stats``.
+
+    The baseline is technical debt; surfacing its raw entry count on
+    every run is what keeps the burn-down honest.
+    """
+    if baseline is not None and baseline.exists():
+        entries = len(load_baseline(baseline))
+        origin = str(baseline)
+    else:
+        entries = 0
+        origin = "none" if baseline is None else f"{baseline} (missing)"
+    return (
+        f"richlint-stats: baseline={origin} entries={entries} "
+        f"matched_this_run={len(report.baselined)} "
+        f"suppressed_inline={len(report.suppressed)}"
+    )
 
 
 def _render_json(report: AnalysisReport) -> str:
@@ -181,10 +212,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
-    if args.format == "json":
+    if args.sarif_out:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(Path(args.sarif_out), report)
+
+    if args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(json.dumps(render_sarif(report), indent=2))
+    elif args.format == "json":
         print(_render_json(report))
     else:
         print(_render_text(report, args.show_suppressed))
+        if args.stats:
+            print(_render_stats(baseline, report))
 
     if args.warn_only:
         return 0

@@ -16,7 +16,10 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.callgraph import CallGraph
 
 #: Rule code for files the analyzer itself cannot parse.
 PARSE_ERROR_CODE = "RL901"
@@ -67,6 +70,15 @@ class ProjectIndex:
     """Cross-module facts collected in pass 1."""
 
     dataclasses: dict[str, DataclassInfo] = field(default_factory=dict)
+    #: Project call graph (async-ness, blocking-ness, task spawns per
+    #: function); always populated by :func:`build_index`.
+    call_graph: "CallGraph | None" = None
+
+    @property
+    def calls(self) -> "CallGraph":
+        if self.call_graph is None:  # pragma: no cover - build_index sets it
+            raise RuntimeError("ProjectIndex built without a call graph")
+        return self.call_graph
 
 
 @dataclass
@@ -138,6 +150,13 @@ def default_rules() -> list[Rule]:
     """Every shipped rule, in code order."""
     # Imported here so ``engine`` has no import-time dependency on the rule
     # modules (they import ``engine`` for the base class).
+    from repro.analysis.async_rules import (
+        AwaitUnderSyncLockRule,
+        BlockingCallInAsyncRule,
+        FireAndForgetTaskRule,
+        UnawaitedCoroutineRule,
+        UnguardedSharedStateRule,
+    )
     from repro.analysis.conservation import ConservationEarlyReturnRule
     from repro.analysis.dataclass_rules import MutableDefaultRule, UnfrozenKeyRule
     from repro.analysis.determinism import (
@@ -164,6 +183,11 @@ def default_rules() -> list[Rule]:
         UnfrozenKeyRule(),
         ConservationEarlyReturnRule(),
         LayeringRule(),
+        BlockingCallInAsyncRule(),
+        UnawaitedCoroutineRule(),
+        FireAndForgetTaskRule(),
+        AwaitUnderSyncLockRule(),
+        UnguardedSharedStateRule(),
     ]
 
 
@@ -394,7 +418,10 @@ def _bool_kwarg(decorator: ast.expr, name: str, default: bool) -> bool:
 
 
 def build_index(modules: Sequence[ModuleInfo]) -> ProjectIndex:
-    index = ProjectIndex()
+    # Imported here: callgraph imports engine for ModuleInfo.
+    from repro.analysis.callgraph import build_call_graph
+
+    index = ProjectIndex(call_graph=build_call_graph(modules))
     for module in modules:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):

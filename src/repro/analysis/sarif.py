@@ -1,0 +1,157 @@
+"""SARIF 2.1.0 emitter for richlint reports.
+
+Static Analysis Results Interchange Format (SARIF) is the lingua franca
+consumed by GitHub code scanning, VS Code SARIF viewers, and most result
+aggregators.  One richlint run maps to one SARIF ``run``:
+
+- every registered rule (plus the synthetic parse-error rule RL901)
+  appears in ``tool.driver.rules`` so viewers can show help text even
+  for rules with zero results;
+- active findings and parse errors become ``error``-level results;
+- inline-suppressed findings are kept as results carrying an
+  ``inSource`` suppression with the author's justification, so the
+  suppression inventory survives the format conversion;
+- baselined findings are kept with ``baselineState: "unchanged"``;
+- richlint's line-number-free fingerprints ride along in
+  ``partialFingerprints`` under ``richlintFingerprint/v1`` so result
+  identity is stable across unrelated edits, mirroring the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import (
+    PARSE_ERROR_CODE,
+    AnalysisReport,
+    Finding,
+    Rule,
+    _fingerprints,
+    default_rules,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+FINGERPRINT_KEY = "richlintFingerprint/v1"
+TOOL_URI = "https://github.com/richnote/richnote"
+
+
+def _rule_descriptors(rules: Sequence[Rule]) -> list[dict]:
+    descriptors = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    descriptors.append(
+        {
+            "id": PARSE_ERROR_CODE,
+            "name": "parse-error",
+            "shortDescription": {"text": "file could not be parsed"},
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return descriptors
+
+
+def _result(
+    finding: Finding,
+    rule_index: dict[str, int],
+    fingerprint: str | None,
+) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": f"{finding.name}: {finding.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    # SARIF columns are 1-based; richlint's are 0-based.
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    if fingerprint is not None:
+        result["partialFingerprints"] = {FINGERPRINT_KEY: fingerprint}
+    return result
+
+
+def render_sarif(
+    report: AnalysisReport, rules: Sequence[Rule] | None = None
+) -> dict:
+    """Build a SARIF 2.1.0 log ``dict`` for one analysis report."""
+    rules = list(default_rules() if rules is None else rules)
+    descriptors = _rule_descriptors(rules)
+    rule_index = {desc["id"]: i for i, desc in enumerate(descriptors)}
+
+    def prints(findings: Sequence[Finding]) -> list[str]:
+        return _fingerprints(findings, report.modules_by_path)
+
+    results: list[dict] = []
+    for finding in report.parse_errors:
+        results.append(_result(finding, rule_index, None))
+    for finding, fingerprint in zip(report.findings, prints(report.findings)):
+        results.append(_result(finding, rule_index, fingerprint))
+    suppressed = [finding for finding, _ in report.suppressed]
+    for (finding, reason), fingerprint in zip(
+        report.suppressed, prints(suppressed)
+    ):
+        result = _result(finding, rule_index, fingerprint)
+        result["level"] = "note"
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": reason or "unspecified"}
+        ]
+        results.append(result)
+    for finding, fingerprint in zip(
+        report.baselined, prints(report.baselined)
+    ):
+        result = _result(finding, rule_index, fingerprint)
+        result["level"] = "note"
+        result["baselineState"] = "unchanged"
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "richlint",
+                        "informationUri": TOOL_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path | str,
+    report: AnalysisReport,
+    rules: Sequence[Rule] | None = None,
+) -> None:
+    log = render_sarif(report, rules)
+    Path(path).write_text(
+        json.dumps(log, indent=2) + "\n", encoding="utf-8"
+    )

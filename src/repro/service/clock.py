@@ -55,7 +55,9 @@ class SimulatedClock:
     """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
+        # advance() and drive() both move time, but a test drives exactly
+        # one of them at a time on the event loop (RL705 discipline).
+        self._now = float(start)  # richlint: guarded-by(event-loop)
         self._seq = itertools.count()
         self._sleepers: list[tuple[float, int, asyncio.Future]] = []
 

@@ -89,7 +89,10 @@ class NotificationService:
             raise ValueError("service needs at least one user")
         self.config = config or ServiceConfig()
         self.clock = clock or MonotonicClock()
-        self.stats = ServiceStats()
+        # Counters are bumped by the scheduler task, ingest callers and
+        # egress tasks alike; all of them run on the one event loop and
+        # never yield mid-update (RL705 discipline).
+        self.stats = ServiceStats()  # richlint: guarded-by(event-loop)
         self.controller = DegradationController(self.config.degradation)
         self.frontier = IngestFrontier(self.config.queue_bound)
         self.limiter = TieredRateLimiter(self.config.rate, self.clock.now())
@@ -101,9 +104,14 @@ class NotificationService:
         self._loops: dict[int, RoundLoop] = {}
         self._user_ids = sorted(set(user_ids))
         #: Deferred buffer: events parked while the ladder is at DEFER.
-        self._deferred: list[QueuedEvent] = []
+        #: Written by ingest (append) and the scheduler (readmission
+        #: drain); both run on the event loop without yielding between
+        #: read and write.
+        self._deferred: list[QueuedEvent] = []  # richlint: guarded-by(event-loop)
         #: item_id -> ingest time, for end-to-end latency + conservation.
-        self._inflight: dict[int, float] = {}
+        #: Written at admission and settled by egress tasks; every
+        #: mutation is a single un-awaited dict op on the event loop.
+        self._inflight: dict[int, float] = {}  # richlint: guarded-by(event-loop)
         #: In-flight egress batches; settled before :meth:`run` returns.
         self._delivery_tasks: list[asyncio.Task] = []
         self._stop_requested = False

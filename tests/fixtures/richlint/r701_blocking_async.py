@@ -1,0 +1,55 @@
+"""Fixture: RL701 -- blocking calls reachable inside async defs (never imported)."""
+
+import asyncio
+import subprocess
+import time
+
+
+def sync_helper(path):
+    # Blocking, but sync context: only flagged through async callers.
+    with open(path) as handle:
+        return handle.read()
+
+
+def sync_middleman(path):
+    return sync_helper(path)
+
+
+async def bad_direct():
+    time.sleep(1.0)  # EXPECT[RL701]
+    subprocess.run(["true"])  # EXPECT[RL701]
+
+
+async def bad_transitive():
+    return sync_middleman("trace.jsonl")  # EXPECT[RL701]
+
+
+async def bad_open():
+    handle = open("trace.jsonl")  # EXPECT[RL701]
+    return handle
+
+
+async def dead_code_not_flagged():
+    return 0
+    time.sleep(5.0)  # unreachable: the CFG knows
+
+
+async def dead_branch_after_infinite_loop():
+    while True:
+        await asyncio.sleep(1.0)
+    time.sleep(9.0)  # unreachable behind a break-less while True
+
+
+async def ok_async_sleep():
+    await asyncio.sleep(1.0)
+
+
+async def ok_nested_sync_def():
+    def helper():
+        time.sleep(1.0)  # body runs on some later activation, not here
+
+    return helper
+
+
+def sync_caller_is_fine():
+    time.sleep(0.1)

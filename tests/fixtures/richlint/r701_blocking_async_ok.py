@@ -1,0 +1,22 @@
+"""Fixture: RL701 negatives -- async code that never blocks the loop."""
+
+import asyncio
+import time
+
+
+def measure():
+    return time.monotonic()  # reading a clock is not blocking
+
+
+async def ok_awaits_only():
+    await asyncio.sleep(0.5)
+    return measure()
+
+
+async def ok_offloaded():
+    # Blocking work explicitly pushed to a worker thread.
+    return await asyncio.to_thread(time.sleep, 1.0)
+
+
+async def ok_calls_async_helper():
+    await ok_awaits_only()

@@ -1,0 +1,32 @@
+"""Fixture: RL702 -- coroutines created but never awaited (never imported)."""
+
+import asyncio
+
+
+async def worker(n):
+    await asyncio.sleep(n)
+
+
+async def bad_bare_call():
+    worker(1)  # EXPECT[RL702]
+
+
+async def bad_stdlib_bare():
+    asyncio.sleep(0.5)  # EXPECT[RL702]
+
+
+async def bad_assigned_never_used():
+    pending = worker(2)  # EXPECT[RL702]
+    return None
+
+
+def bad_from_sync_context():
+    worker(3)  # EXPECT[RL702]
+
+
+class Service:
+    async def _push(self):
+        await asyncio.sleep(0)
+
+    async def bad_method(self):
+        self._push()  # EXPECT[RL702]

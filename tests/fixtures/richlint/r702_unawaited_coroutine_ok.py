@@ -1,0 +1,33 @@
+"""Fixture: RL702 negatives -- every coroutine is consumed."""
+
+import asyncio
+
+
+async def worker(n):
+    await asyncio.sleep(n)
+
+
+async def ok_awaited():
+    await worker(1)
+
+
+async def ok_assigned_then_awaited():
+    coro = worker(2)
+    await coro
+
+
+async def ok_spawned():
+    task = asyncio.ensure_future(worker(3))
+    await task
+
+
+async def ok_gathered():
+    return await asyncio.gather(worker(1), worker(2))
+
+
+class Service:
+    async def _push(self):
+        await asyncio.sleep(0)
+
+    async def ok_method(self):
+        await self._push()

@@ -1,0 +1,17 @@
+"""Fixture: RL703 -- task handles discarded at spawn (never imported)."""
+
+import asyncio
+
+
+async def job():
+    await asyncio.sleep(0)
+
+
+async def bad_bare_spawns():
+    asyncio.ensure_future(job())  # EXPECT[RL703]
+    asyncio.create_task(job())  # EXPECT[RL703]
+
+
+async def bad_loop_spawn():
+    loop = asyncio.get_event_loop()
+    loop.create_task(job())  # EXPECT[RL703]

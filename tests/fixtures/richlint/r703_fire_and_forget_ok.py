@@ -1,0 +1,25 @@
+"""Fixture: RL703 negatives -- every spawned task handle is retained."""
+
+import asyncio
+
+
+async def job():
+    await asyncio.sleep(0)
+
+
+class Egress:
+    def __init__(self):
+        self._tasks = []
+
+    def fire(self):
+        # The service/server.py idiom: spawn and retain in one statement.
+        self._tasks.append(asyncio.ensure_future(job()))
+
+    async def settle(self):
+        await asyncio.gather(*self._tasks)
+        self._tasks.clear()
+
+
+async def ok_local_retention():
+    task = asyncio.create_task(job())
+    await task

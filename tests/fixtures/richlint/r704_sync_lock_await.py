@@ -1,0 +1,39 @@
+"""Fixture: RL704 -- await while holding a sync lock (never imported)."""
+
+import asyncio
+import threading
+
+
+async def bad_with_local_lock():
+    lock = threading.Lock()
+    with lock:  # EXPECT[RL704]
+        await asyncio.sleep(1.0)
+
+
+async def bad_with_inline_ctor():
+    with threading.Lock():  # EXPECT[RL704]
+        await asyncio.sleep(0.1)
+
+
+async def bad_acquire_then_await():
+    lock = threading.Lock()
+    lock.acquire()  # EXPECT[RL704]
+    await asyncio.sleep(1.0)
+    lock.release()
+
+
+async def bad_acquire_await_on_branch(flaky):
+    lock = threading.Lock()
+    lock.acquire()  # EXPECT[RL704]
+    if flaky:
+        await asyncio.sleep(1.0)
+    lock.release()
+
+
+class Worker:
+    def __init__(self):
+        self._mutex = threading.Lock()
+
+    async def bad_method(self):
+        with self._mutex:  # EXPECT[RL704]
+            await asyncio.sleep(2.0)

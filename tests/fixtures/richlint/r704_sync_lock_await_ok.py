@@ -1,0 +1,35 @@
+"""Fixture: RL704 negatives -- locks never held across a suspension."""
+
+import asyncio
+import threading
+
+
+async def ok_released_before_await():
+    lock = threading.Lock()
+    lock.acquire()
+    lock.release()
+    await asyncio.sleep(1.0)
+
+
+async def ok_async_lock():
+    lock = asyncio.Lock()
+    async with lock:
+        await asyncio.sleep(1.0)
+
+
+async def ok_no_await_in_critical_section():
+    lock = threading.Lock()
+    with lock:
+        counter = 1
+    await asyncio.sleep(counter)
+
+
+class Worker:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self.count = 0
+
+    async def ok_method(self):
+        with self._mutex:
+            self.count += 1
+        await asyncio.sleep(0)

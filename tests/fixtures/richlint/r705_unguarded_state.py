@@ -1,0 +1,26 @@
+"""Fixture: RL705 -- multi-task writes to shared state (never imported)."""
+
+import asyncio
+
+
+class BadService:
+    def __init__(self):
+        self.pending = {}
+        self.delivered = 0
+        self._tasks = []
+
+    async def ingest(self, item_id):
+        self.pending[item_id] = 1.0  # EXPECT[RL705]
+        self._tasks.append(asyncio.ensure_future(self._push(item_id)))
+
+    async def run(self):
+        self._settle(0)
+        await asyncio.gather(*self._tasks)
+
+    async def _push(self, item_id):
+        await asyncio.sleep(0)
+        self.delivered += 1  # EXPECT[RL705]
+        self._settle(item_id)
+
+    def _settle(self, item_id):
+        self.pending.pop(item_id, None)  # EXPECT[RL705]

@@ -1,0 +1,31 @@
+"""Fixture: RL705 negatives -- guarded, single-context, or local state."""
+
+import asyncio
+
+
+class GuardedService:
+    """Same write pattern as the bad fixture, but the discipline is named."""
+
+    def __init__(self):
+        # richlint: guarded-by(event-loop)
+        self.pending = {}
+
+    async def ingest(self, item_id):
+        self.pending[item_id] = 1.0
+
+    async def run(self):
+        self.pending.clear()
+
+
+class SingleContextService:
+    """Only the scheduler loop writes; one context needs no guard."""
+
+    def __init__(self):
+        self.rounds = 0
+
+    async def run(self):
+        self.rounds += 1
+        await asyncio.sleep(0)
+
+    async def snapshot(self):
+        return self.rounds  # reads are not writes

@@ -1,0 +1,185 @@
+"""Tests for the pass-1 project call graph behind the R7 rules.
+
+The interesting property is *cross-module* resolution: an ``async def``
+in one module calling a sync helper in another must still learn, through
+the import-canonicalized call graph, that the helper bottoms out in
+``time.sleep``.  These tests build tiny multi-file projects in tmp dirs
+and run the real ``analyze_paths`` entry point over them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.callgraph import (
+    is_blocking_target,
+    module_dotted,
+)
+from repro.analysis.engine import ModuleInfo, build_index, load_module
+
+
+def project(tmp_path, files: dict[str, str]):
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def graph_for(tmp_path, files: dict[str, str]):
+    root = project(tmp_path, files)
+    modules = [load_module(root / relpath, root) for relpath in sorted(files)]
+    assert all(isinstance(m, ModuleInfo) for m in modules)
+    index = build_index(modules)
+    return index.calls
+
+
+class TestModuleDotted:
+    def test_src_prefix_and_init_are_stripped(self):
+        assert module_dotted("src/repro/service/server.py") == (
+            "repro.service.server"
+        )
+        assert module_dotted("src/repro/service/__init__.py") == "repro.service"
+        assert module_dotted("helper.py") == "helper"
+
+
+class TestBlockingTargets:
+    @pytest.mark.parametrize(
+        "target", ["time.sleep", "open", "subprocess.run", "requests.get"]
+    )
+    def test_known_blocking(self, target):
+        assert is_blocking_target(target)
+
+    @pytest.mark.parametrize(
+        "target", ["asyncio.sleep", "time.monotonic", "math.sqrt"]
+    )
+    def test_known_nonblocking(self, target):
+        assert not is_blocking_target(target)
+
+
+class TestCrossModuleResolution:
+    FILES = {
+        "pkg/__init__.py": "",
+        "pkg/util.py": """\
+            import time
+
+
+            def pause(seconds):
+                time.sleep(seconds)
+
+
+            def relay(seconds):
+                pause(seconds)
+        """,
+        "pkg/svc.py": """\
+            from pkg.util import relay
+
+
+            async def tick():
+                relay(1.0)
+        """,
+    }
+
+    def test_imported_call_resolves_to_defining_module(self, tmp_path):
+        graph = graph_for(tmp_path, self.FILES)
+        tick = graph.lookup("pkg.svc.tick")
+        assert tick is not None and tick.is_async
+        assert [c.target for c in tick.calls] == ["pkg.util.relay"]
+
+    def test_blocking_propagates_across_modules_with_chain(self, tmp_path):
+        graph = graph_for(tmp_path, self.FILES)
+        assert graph.blocking_chain("pkg.util.pause") == (
+            "pkg.util.pause",
+            "time.sleep",
+        )
+        assert graph.blocking_chain("pkg.util.relay") == (
+            "pkg.util.relay",
+            "pkg.util.pause",
+            "time.sleep",
+        )
+
+    def test_rl701_fires_through_the_cross_module_chain(self, tmp_path):
+        root = project(tmp_path, self.FILES)
+        report = analyze_paths([root], root=root, select="RL701")
+        assert [(f.path, f.code) for f in report.findings] == [
+            ("pkg/svc.py", "RL701")
+        ]
+        assert "pkg.util.relay" in report.findings[0].message
+        assert "time.sleep" in report.findings[0].message
+
+
+class TestAsyncCalleesDoNotPropagate:
+    def test_awaiting_an_async_helper_is_not_blocking(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": """\
+                    import asyncio
+
+
+                    async def napper():
+                        await asyncio.sleep(1.0)
+
+
+                    async def caller():
+                        await napper()
+                """
+            },
+        )
+        assert graph.blocking_chain("mod.caller") is None
+        assert graph.blocking_chain("mod.napper") is None
+
+
+class TestSelfMethodResolution:
+    def test_self_calls_qualify_by_class(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "svc.py": """\
+                    import asyncio
+
+
+                    class Service:
+                        async def run(self):
+                            self._tick()
+                            await asyncio.sleep(0)
+
+                        def _tick(self):
+                            pass
+                """
+            },
+        )
+        run = graph.lookup("svc.Service.run")
+        assert run is not None
+        assert "svc.Service._tick" in [c.target for c in run.calls]
+        methods = {m.name for m in graph.class_methods("svc.py", "Service")}
+        assert methods == {"run", "_tick"}
+
+    def test_spawned_coroutines_are_recorded(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "svc.py": """\
+                    import asyncio
+
+
+                    class Service:
+                        def __init__(self):
+                            self._tasks = []
+
+                        def kick(self):
+                            self._tasks.append(
+                                asyncio.ensure_future(self._work())
+                            )
+
+                        async def _work(self):
+                            await asyncio.sleep(0)
+                """
+            },
+        )
+        kick = graph.lookup("svc.Service.kick")
+        assert kick is not None
+        assert kick.spawns == ("svc.Service._work",)

@@ -1,0 +1,245 @@
+"""Tests for the per-function control-flow graphs behind the R7 rules.
+
+The CFG is deliberately approximate (documented in ``cfg.py``): it only
+needs *may* information -- which statements might execute, which
+definitions might reach a use.  These tests pin the approximations that
+the async-safety rules depend on: dead code is unreachable, exception
+edges are conservative, and reaching definitions track rebinds.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import build_cfg, function_nodes
+
+
+def cfg_for(source: str):
+    tree = ast.parse(source)
+    funcs = list(function_nodes(tree))
+    assert len(funcs) == 1, "helper expects exactly one top-level function"
+    return funcs[0], build_cfg(funcs[0])
+
+
+def find_call(func: ast.AST, name: str) -> ast.Call:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            target = ast.unparse(node.func)
+            if target.endswith(name):
+                return node
+    raise AssertionError(f"no call to {name} in function")
+
+
+class TestReachability:
+    def test_statement_after_return_is_dead(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    return 1\n"
+            "    boom()\n"
+        )
+        assert not cfg.is_reachable(find_call(func, "boom"))
+
+    def test_statement_after_raise_is_dead(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    raise ValueError('no')\n"
+            "    boom()\n"
+        )
+        assert not cfg.is_reachable(find_call(func, "boom"))
+
+    def test_code_after_breakless_while_true_is_dead(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    while True:\n"
+            "        spin()\n"
+            "    boom()\n"
+        )
+        assert cfg.is_reachable(find_call(func, "spin"))
+        assert not cfg.is_reachable(find_call(func, "boom"))
+
+    def test_break_restores_the_loop_exit(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    while True:\n"
+            "        if done():\n"
+            "            break\n"
+            "    after()\n"
+        )
+        assert cfg.is_reachable(find_call(func, "after"))
+
+    def test_both_branches_reachable_then_rejoin(self):
+        func, cfg = cfg_for(
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        left()\n"
+            "    else:\n"
+            "        right()\n"
+            "    after()\n"
+        )
+        for name in ("left", "right", "after"):
+            assert cfg.is_reachable(find_call(func, name))
+
+    def test_while_else_runs_on_normal_exit(self):
+        func, cfg = cfg_for(
+            "def f(n):\n"
+            "    while n > 0:\n"
+            "        n -= 1\n"
+            "    else:\n"
+            "        wrap_up()\n"
+            "    after()\n"
+        )
+        assert cfg.is_reachable(find_call(func, "wrap_up"))
+        assert cfg.is_reachable(find_call(func, "after"))
+
+
+class TestTryFinally:
+    def test_handler_and_finally_are_reachable(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        on_error()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+            "    after()\n"
+        )
+        for name in ("risky", "on_error", "cleanup", "after"):
+            assert cfg.is_reachable(find_call(func, name))
+
+    def test_every_protected_statement_may_reach_every_handler(self):
+        # The approximation: each body block edges to each handler entry,
+        # because any statement may raise.
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        first()\n"
+            "        second()\n"
+            "    except KeyError:\n"
+            "        key_path()\n"
+            "    except ValueError:\n"
+            "        value_path()\n"
+        )
+        for name in ("first", "second", "key_path", "value_path"):
+            assert cfg.is_reachable(find_call(func, name))
+
+    def test_try_else_only_after_body(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except OSError:\n"
+            "        return None\n"
+            "    else:\n"
+            "        celebrate()\n"
+        )
+        assert cfg.is_reachable(find_call(func, "celebrate"))
+
+
+class TestNestedAndAsync:
+    def test_nested_defs_get_their_own_cfgs(self):
+        tree = ast.parse(
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        await thing()\n"
+            "    return inner\n"
+        )
+        funcs = list(function_nodes(tree))
+        names = sorted(f.name for f in funcs)
+        assert names == ["inner", "outer"]
+        outer = next(f for f in funcs if f.name == "outer")
+        inner = next(f for f in funcs if f.name == "inner")
+        outer_cfg = build_cfg(outer)
+        # The inner body belongs to the inner CFG, not the outer one.
+        call = find_call(inner, "thing")
+        assert cfg_contains(build_cfg(inner), call)
+        assert not cfg_contains(outer_cfg, call)
+
+    def test_async_for_and_async_with_flow_through(self):
+        func, cfg = cfg_for(
+            "async def f(source, lock):\n"
+            "    async with lock:\n"
+            "        setup()\n"
+            "    async for item in source:\n"
+            "        handle(item)\n"
+            "    after()\n"
+        )
+        for name in ("setup", "handle", "after"):
+            assert cfg.is_reachable(find_call(func, name))
+
+
+def cfg_contains(cfg, node: ast.AST) -> bool:
+    return cfg.block_of(node) is not None
+
+
+class TestReachingDefinitions:
+    def test_rebind_shadows_earlier_definition(self):
+        func, cfg = cfg_for(
+            "def f():\n"
+            "    x = 1\n"
+            "    x = 2\n"
+            "    use(x)\n"
+        )
+        use = find_call(func, "use").args[0]
+        defs = cfg.definitions_reaching(use)
+        assert {d.line for d in defs} == {3}
+
+    def test_branches_merge_both_definitions(self):
+        func, cfg = cfg_for(
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    use(x)\n"
+        )
+        use = find_call(func, "use").args[0]
+        assert {d.line for d in cfg.definitions_reaching(use)} == {3, 5}
+
+    def test_parameters_reach_uses(self):
+        func, cfg = cfg_for(
+            "def f(lock):\n"
+            "    use(lock)\n"
+        )
+        use = find_call(func, "use").args[0]
+        defs = cfg.definitions_reaching(use)
+        assert len(defs) == 1
+        (param_def,) = defs
+        assert param_def.line == func.lineno
+
+    def test_loop_carries_definitions_around_the_back_edge(self):
+        func, cfg = cfg_for(
+            "def f(n):\n"
+            "    x = 0\n"
+            "    while n > 0:\n"
+            "        use(x)\n"
+            "        x = x + 1\n"
+            "        n -= 1\n"
+            "    return x\n"
+        )
+        use = find_call(func, "use").args[0]
+        # Both the initial binding and the in-loop rebind may reach the use.
+        assert {d.line for d in cfg.definitions_reaching(use)} == {2, 5}
+
+
+class TestBuilderTotality:
+    """build_cfg must not choke on any statement shape in the tree."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(x):\n    match x:\n        case 1:\n            one()\n"
+            "        case _:\n            rest()\n",
+            "def f():\n    for i in range(3):\n        step(i)\n"
+            "    else:\n        done()\n",
+            "def f(it):\n    with open('x') as fh, it() as t:\n"
+            "        read(fh, t)\n",
+            "def f():\n    try:\n        risky()\n    except* ValueError:\n"
+            "        grouped()\n",
+        ],
+    )
+    def test_builds_without_error(self, source):
+        func, cfg = cfg_for(source)
+        assert cfg.reachable()

@@ -65,7 +65,22 @@ FIXTURE_FILES = [
     "r501_conservation.py",
     "runtime/kernels.py",
     "core/r601_layering.py",
+    "r701_blocking_async.py",
+    "r702_unawaited_coroutine.py",
+    "r703_fire_and_forget.py",
+    "r704_sync_lock_await.py",
+    "r705_unguarded_state.py",
     "suppressions.py",
+]
+
+# Negative fixtures: the flow-aware rules must stay silent on the
+# idiomatic version of each anti-pattern.
+OK_FIXTURES = [
+    "r701_blocking_async_ok.py",
+    "r702_unawaited_coroutine_ok.py",
+    "r703_fire_and_forget_ok.py",
+    "r704_sync_lock_await_ok.py",
+    "r705_unguarded_state_ok.py",
 ]
 
 
@@ -75,6 +90,11 @@ class TestRuleFixtures:
         expected = expected_markers(FIXTURES / fixture)
         assert expected, f"fixture {fixture} has no EXPECT markers"
         assert findings_for(fixture) == expected
+
+    @pytest.mark.parametrize("fixture", OK_FIXTURES)
+    def test_ok_fixtures_stay_silent(self, fixture):
+        assert not expected_markers(FIXTURES / fixture)
+        assert findings_for(fixture) == set()
 
     def test_every_rule_is_covered_by_a_fixture(self):
         covered = set()
@@ -143,6 +163,13 @@ class TestSelectors:
         }
         assert resolve_selectors(["float-eq"], rules) == {"RL301"}
         assert resolve_selectors(["RL101,R5"], rules) == {"RL101", "RL501"}
+        assert resolve_selectors(["R7"], rules) == {
+            "RL701",
+            "RL702",
+            "RL703",
+            "RL704",
+            "RL705",
+        }
 
     def test_unknown_selector_raises(self):
         with pytest.raises(ValueError, match="unknown richlint rule"):

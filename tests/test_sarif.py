@@ -1,0 +1,174 @@
+"""Tests for the SARIF 2.1.0 emitter.
+
+The structural assertions always run.  When ``jsonschema`` is available
+in the environment (it is not a declared dependency), the log is
+additionally validated against a vendored subset of the OASIS
+sarif-schema-2.1.0.json -- the subset constrains every property richlint
+emits exactly as the full standard does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, render_sarif
+from repro.analysis.cli import main as richlint_main
+from repro.analysis.engine import default_rules, write_baseline
+from repro.analysis.sarif import FINGERPRINT_KEY, SARIF_SCHEMA
+
+FIXTURES = Path(__file__).parent / "fixtures" / "richlint"
+SUBSET_SCHEMA = Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json"
+
+
+@pytest.fixture
+def mixed_report(tmp_path):
+    """A report with active, suppressed, baselined and parse-error results."""
+    (tmp_path / "dirty.py").write_text(
+        "import random\nx = random.random()\n"
+    )
+    (tmp_path / "hushed.py").write_text(
+        "import random\n"
+        "y = random.random()  # richlint: ignore[RL201] -- demo entropy\n"
+    )
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "old.py").write_text("import random\nz = random.random()\n")
+    first = analyze_paths([tmp_path / "old.py"], root=tmp_path)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, first.findings, first.modules_by_path)
+    return analyze_paths([tmp_path], root=tmp_path, baseline=baseline)
+
+
+class TestRenderSarif:
+    def test_log_envelope(self, mixed_report):
+        log = render_sarif(mixed_report)
+        assert log["version"] == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "richlint"
+
+    def test_every_rule_is_described_including_parse_errors(self, mixed_report):
+        (run,) = render_sarif(mixed_report)["runs"]
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert ids == [rule.code for rule in default_rules()] + ["RL901"]
+        assert len(set(ids)) == len(ids)
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_results_cover_all_four_result_kinds(self, mixed_report):
+        (run,) = render_sarif(mixed_report)["runs"]
+        by_rule = {}
+        for result in run["results"]:
+            by_rule.setdefault(result["ruleId"], []).append(result)
+
+        parse = by_rule["RL901"][0]
+        assert parse["level"] == "error"
+        assert "partialFingerprints" not in parse
+
+        kinds = {"active": None, "suppressed": None, "baselined": None}
+        for result in by_rule["RL201"]:
+            if result.get("suppressions"):
+                kinds["suppressed"] = result
+            elif result.get("baselineState"):
+                kinds["baselined"] = result
+            else:
+                kinds["active"] = result
+        assert all(kinds.values()), f"missing result kinds in {by_rule}"
+
+        active = kinds["active"]
+        assert active["level"] == "error"
+        assert active["partialFingerprints"][FINGERPRINT_KEY]
+        location = active["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "dirty.py"
+        assert location["region"]["startLine"] == 2
+        assert location["region"]["startColumn"] >= 1
+
+        suppressed = kinds["suppressed"]
+        assert suppressed["level"] == "note"
+        (suppression,) = suppressed["suppressions"]
+        assert suppression["kind"] == "inSource"
+        assert "demo entropy" in suppression["justification"]
+
+        baselined = kinds["baselined"]
+        assert baselined["level"] == "note"
+        assert baselined["baselineState"] == "unchanged"
+
+    def test_rule_index_points_at_the_matching_descriptor(self, mixed_report):
+        (run,) = render_sarif(mixed_report)["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_validates_against_sarif_schema_subset(self, mixed_report):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SUBSET_SCHEMA.read_text())
+        jsonschema.validate(render_sarif(mixed_report), schema)
+
+    def test_subset_schema_rejects_malformed_logs(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SUBSET_SCHEMA.read_text())
+        for broken in (
+            {"version": "2.0.0", "runs": []},
+            {"version": "2.1.0"},
+            {"version": "2.1.0", "runs": [{}]},
+            {
+                "version": "2.1.0",
+                "runs": [
+                    {
+                        "tool": {"driver": {"name": "x"}},
+                        "results": [{"message": {"text": "m"}, "level": "fatal"}],
+                    }
+                ],
+            },
+        ):
+            with pytest.raises(jsonschema.ValidationError):
+                jsonschema.validate(broken, schema)
+
+
+class TestCliIntegration:
+    def test_format_sarif_prints_a_log(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        code = richlint_main(
+            [str(dirty), "--no-baseline", "--format", "sarif"]
+        )
+        assert code == 1  # findings still gate the exit code
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "RL201"
+
+    def test_sarif_out_writes_alongside_text_output(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        out = tmp_path / "richlint.sarif"
+        code = richlint_main(
+            [str(clean), "--no-baseline", "--sarif-out", str(out)]
+        )
+        assert code == 0
+        assert "richlint:" in capsys.readouterr().out
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []
+
+    def test_stats_reports_baseline_size(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            richlint_main(
+                [str(dirty), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            richlint_main(
+                [str(dirty), "--baseline", str(baseline), "--stats"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "richlint-stats:" in out
+        assert "entries=1" in out
+        assert "matched_this_run=1" in out

@@ -710,3 +710,50 @@ class TestFlashCrowdChaos:
         assert payload["latency_s"]["count"] == run.service.stats.delivered
         assert payload["pressure"]["max_level"] == run.service.controller.max_level.name
         assert payload["meta"]["users"] == 12
+
+
+class TestDeliveryTaskRetention:
+    """Regression pin for richlint RL703 (fire-and-forget tasks).
+
+    ``_fire_round`` spawns egress with ``asyncio.ensure_future``; the
+    event loop holds only *weak* references to tasks, so if the handle
+    were discarded the egress task could be garbage-collected mid-push
+    and deliveries would silently vanish.  The handle must land in
+    ``_delivery_tasks`` (reaped each tick, gathered at shutdown).
+    """
+
+    def test_fire_round_retains_its_egress_task_handle(self):
+        clock = SimulatedClock()
+        service = NotificationService(
+            loop_factory=make_loop,
+            user_ids=[1],
+            config=ServiceConfig(queue_bound=8),
+            clock=clock,
+        )
+
+        async def scenario():
+            await service.ingest(item(0, utility=0.9))
+            service._fire_round(1, now=60.0)
+            # The spawn in _fire_round must be retained, not bare.
+            assert len(service._delivery_tasks) == 1
+            await asyncio.gather(*service._delivery_tasks)
+            service._reap_delivery_tasks()
+            assert service._delivery_tasks == []
+
+        asyncio.run(scenario())
+        assert service.stats.delivered > 0
+        assert service.conservation_error() == 0
+
+    def test_richlint_finds_no_fire_and_forget_in_service_layer(self):
+        from pathlib import Path
+
+        from repro.analysis import analyze_paths
+
+        repo_root = Path(__file__).parent.parent
+        report = analyze_paths(
+            [repo_root / "src" / "repro" / "service"],
+            root=repo_root,
+            select="RL703",
+        )
+        assert not report.parse_errors
+        assert report.findings == []
