@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint analyze analyze-sarif bench bench-sweep bench-service artifacts examples clean
+.PHONY: install test chaos lint analyze analyze-sarif bench bench-sweep bench-scale bench-service artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -63,6 +63,14 @@ bench:
 # multi-core) on a tiny grid; writes BENCH_sweep.json at the repo root.
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q -rs -s
+
+# Population-scale gates (columnar/scalar digest parity in-bench, >=5x
+# columnar speedup at the 10k-user point); writes BENCH_scalability.json
+# at the repo root. Tune with BENCH_SCALE_USERS=10000,100000 (CI smoke
+# uses a small count), BENCH_SCALE_1M=1 opts into the million-user leg.
+bench-scale:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_bench_scalability.py::test_bench_scale_curve -q -rs -s
 
 # Live-service gates (exact conservation under a flash crowd, queue
 # bound + TTL invariants, deterministic payload); writes

@@ -43,7 +43,11 @@ SPECS = (
     MethodSpec(Method.FIFO, 2),
     MethodSpec(Method.UTIL, 3),
 )
-N_USERS = 10
+# The benchmark population: the busiest half of the medium workload by
+# default (BENCH_sweep.json used to be recorded at a pinned 10 users,
+# which measured pool overhead more than simulation).  Override with
+# BENCH_SWEEP_USERS for smoke runs.
+N_USERS = int(os.environ.get("BENCH_SWEEP_USERS", "30"))
 BENCH_OUT = Path(
     os.environ.get(
         "BENCH_SWEEP_OUT", Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
@@ -89,8 +93,9 @@ def test_grid_parity_and_telemetry(
         assert parallel[key].aggregate == sequential[key].aggregate, key
 
     payload = telemetry.write(BENCH_OUT)
-    assert payload["schema"] == "richnote-bench-sweep/1"
+    assert payload["schema"] == "richnote-bench-sweep/2"
     assert payload["totals"]["cells"] == len(SPECS) * len(BUDGETS)
+    assert payload["totals"]["users"] == N_USERS
     assert {"train", "shard"} <= set(payload["stages_s"])
     for cell in payload["cells"]:
         assert {"simulate", "aggregate"} <= set(cell["stages_s"])

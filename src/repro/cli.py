@@ -10,6 +10,7 @@ Subcommands::
     richnote figures         --trace trace.jsonl --out artifacts/
     richnote survey
     richnote serve           --rounds 3 --chaos flash-crowd
+    richnote bench-scale     --users 10000,100000 --out BENCH_scalability.json
     richnote lint            src/repro --warn-only
 
 ``generate-trace`` synthesizes a labelled Spotify-like notification trace
@@ -30,7 +31,7 @@ from repro.experiments.reporting import render_series_table
 from repro.experiments.runner import UtilityAnnotations, run_experiment
 from repro.experiments.workloads import workload_spec
 from repro.trace.generator import Workload, build_workload
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import iter_trace, read_trace, write_trace
 
 
 def _parse_faults(text: str):
@@ -215,8 +216,35 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.trace.stats import compute_stats, render_stats
 
-    records = read_trace(args.trace)
-    print(render_stats(compute_stats(records)))
+    # Streaming: stats are a single fold, so never materialize the trace.
+    print(render_stats(compute_stats(iter_trace(args.trace))))
+    return 0
+
+
+def cmd_bench_scale(args: argparse.Namespace) -> int:
+    """Users/sec/core curve: columnar engine vs the per-user loop."""
+    from repro.experiments.scale import bench_scale, write_scale_report
+
+    counts = [int(c) for c in args.users.split(",") if c.strip()]
+    payload = bench_scale(
+        counts,
+        seed=args.seed,
+        scalar_sample=args.scalar_sample,
+        parity_sample=args.parity_sample,
+        chunk_users=args.chunk_users,
+    )
+    for point in payload["curve"]:
+        print(
+            f"{point['users']:>8} users ({point['records']} records): "
+            f"columnar {point['columnar']['users_per_sec_per_core']:.0f} "
+            f"users/s/core, scalar "
+            f"{point['scalar']['users_per_sec_per_core']:.0f} users/s/core "
+            f"-> {point['speedup']:.1f}x "
+            f"(parity checked on {point['parity_checked_users']} users)"
+        )
+    if args.out:
+        write_scale_report(args.out, payload)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -383,6 +411,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--trace", required=True)
     stats.set_defaults(handler=cmd_stats)
+
+    bench_scale = commands.add_parser(
+        "bench-scale",
+        help="users/sec/core scaling curve: columnar core vs per-user loop",
+    )
+    bench_scale.add_argument(
+        "--users", default="10000,100000",
+        help="comma list of population sizes (default 10000,100000)",
+    )
+    bench_scale.add_argument(
+        "--scalar-sample", type=int, default=150, dest="scalar_sample",
+        help="users replayed on the scalar loop to estimate its rate",
+    )
+    bench_scale.add_argument(
+        "--parity-sample", type=int, default=25, dest="parity_sample",
+        help="users replayed on both paths for digest parity",
+    )
+    bench_scale.add_argument(
+        "--chunk-users", type=int, default=20_000, dest="chunk_users",
+        help="cohort chunk size bounding peak memory",
+    )
+    bench_scale.add_argument(
+        "--out", default="",
+        help="write the BENCH_scalability.json payload here",
+    )
+    bench_scale.set_defaults(handler=cmd_bench_scale)
 
     survey = commands.add_parser(
         "survey", help="the Figure 2 presentation-utility pipeline"

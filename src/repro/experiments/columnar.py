@@ -1,0 +1,308 @@
+"""Cohort-scale experiment execution on the columnar runtime.
+
+Bridges the experiment layer (records, annotations, :class:`MethodSpec`
+cells) onto :class:`repro.runtime.columnar.ColumnarEngine`: it builds
+one :class:`~repro.runtime.columnar.ColumnarCohort` from many users'
+notification streams, runs all of them through a single struct-of-arrays
+round loop, and folds the outcome columns back into the exact
+per-user :class:`~repro.experiments.runner.UserRunOutcome` objects the
+scalar :func:`~repro.experiments.runner.run_user` produces -- bit for
+bit, including delivery digests (the fold materializes real
+:class:`~repro.runtime.types.Delivery` objects for *delivered* items
+only and reuses :func:`~repro.experiments.metrics.compute_user_metrics`
+and :func:`~repro.experiments.runner.delivery_digest`, so the metric
+arithmetic literally cannot drift from the scalar path).
+
+Scope mirrors the engine's: the paper-default pipeline.  Configs that
+enable the fault-tolerant delivery engine or multi-feed cadences fall
+back to the scalar runner (:func:`supports` gates this;
+:func:`run_experiment_columnar` falls back transparently), which remains
+the parity oracle for everything the columnar path does handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.presentations import build_audio_ladder
+from repro.core.utility import CombinedUtilityModel, ExponentialAging
+from repro.experiments.adapters import record_to_item
+from repro.experiments.config import ExperimentConfig, MethodSpec, NetworkMode
+from repro.experiments.metrics import (
+    FailureStats,
+    aggregate,
+    compute_user_metrics,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    UserRunOutcome,
+    UtilityAnnotations,
+    _device_stream_seed,
+    delivery_digest,
+    run_experiment,
+)
+from repro.experiments.shards import shard_by_user
+from repro.runtime import registry
+from repro.runtime.columnar import (
+    ColumnarCohort,
+    ColumnarEngine,
+    build_device_columns,
+    needs_item_objects,
+    round_times,
+)
+from repro.runtime.types import Delivery
+from repro.trace.generator import Workload
+from repro.trace.records import NotificationRecord
+
+__all__ = [
+    "CohortColumns",
+    "build_cohort",
+    "run_cohort",
+    "run_experiment_columnar",
+    "run_users_columnar",
+    "supports",
+]
+
+
+def supports(config: ExperimentConfig) -> bool:
+    """Whether a config runs on the columnar path.
+
+    The engine models the paper-default atomic pipeline; fault injection
+    and multi-feed cadences stay on the scalar runner.
+    """
+    return config.faults is None and config.feed_cadences is None
+
+
+class _DeliveredItem:
+    """The item fields metrics and digests read, without a full ContentItem."""
+
+    __slots__ = ("item_id", "created_at", "clicked", "click_time")
+
+    def __init__(self, record: NotificationRecord) -> None:
+        self.item_id = record.notification_id
+        self.created_at = record.timestamp
+        self.clicked = record.clicked
+        self.click_time = record.click_time
+
+
+@dataclass
+class CohortColumns:
+    """A built cohort plus the record columns needed to fold results back.
+
+    ``records[u]`` is user ``u``'s notification records in flat (stable
+    created-at) order, aligned with the cohort's flat item columns.
+    """
+
+    cohort: ColumnarCohort
+    user_ids: list[int]
+    records: list[list[NotificationRecord]]
+
+
+def build_cohort(
+    user_records: Sequence[tuple[int, Sequence[NotificationRecord]]],
+    annotations: UtilityAnnotations,
+    ladder,
+    materialize_items: bool = False,
+) -> CohortColumns:
+    """Flatten many users' streams into one set of columns.
+
+    Within each user, records are stable-sorted by timestamp -- the order
+    the event heap ingests them on the scalar path.  ``materialize_items``
+    additionally builds the :class:`~repro.core.content.ContentItem` list
+    the generic-policy adapter path needs.
+    """
+    user_ids: list[int] = []
+    sorted_records: list[list[NotificationRecord]] = []
+    offsets: list[int] = [0]
+    item_ids: list[int] = []
+    created: list[float] = []
+    contents: list[float] = []
+    items = [] if materialize_items else None
+    scores = annotations.scores
+    for user_id, records in user_records:
+        ordered = sorted(records, key=lambda record: record.timestamp)
+        user_ids.append(user_id)
+        sorted_records.append(ordered)
+        for record in ordered:
+            item_ids.append(record.notification_id)
+            created.append(record.timestamp)
+            contents.append(scores[record.notification_id])
+            if items is not None:
+                item = record_to_item(record, ladder)
+                item.content_utility = scores[record.notification_id]
+                items.append(item)
+        offsets.append(len(item_ids))
+    cohort = ColumnarCohort(
+        user_ids=user_ids,
+        offsets=np.asarray(offsets, dtype=np.int64),
+        item_ids=item_ids,
+        created_at=np.asarray(created, dtype=np.float64),
+        contents=np.asarray(contents, dtype=np.float64),
+        ladder=ladder,
+        items=items,
+    )
+    return CohortColumns(
+        cohort=cohort, user_ids=user_ids, records=sorted_records
+    )
+
+
+def run_cohort(
+    columns: CohortColumns,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    duration_seconds: float,
+    digest_deliveries: bool = False,
+) -> list[UserRunOutcome]:
+    """Run one (method, config) cell over a built cohort.
+
+    Returns one :class:`UserRunOutcome` per cohort user, in cohort order,
+    bit-identical to calling :func:`repro.experiments.runner.run_user`
+    per user.
+    """
+    if not supports(config):
+        raise ValueError(
+            "columnar execution supports the paper-default pipeline only "
+            "(no fault injection, no multi-feed cadences); use the scalar "
+            "runner for this config"
+        )
+    cohort = columns.cohort
+    aging = (
+        ExponentialAging(config.aging_tau_seconds)
+        if config.aging_tau_seconds
+        else None
+    )
+    utility_model = CombinedUtilityModel(aging=aging)
+    policy = registry.create(spec.policy_name, **spec.policy_params(config))
+    if cohort.items is None and needs_item_objects(policy, utility_model):
+        raise ValueError(
+            "this policy/utility model needs cohort items; rebuild the "
+            "cohort with build_cohort(..., materialize_items=True)"
+        )
+    times = round_times(config.round_seconds, duration_seconds)
+    device = build_device_columns(
+        [_device_stream_seed(config.seed, u) for u in columns.user_ids],
+        times,
+        config.round_seconds,
+        duration_seconds,
+        config.kappa_joules_per_round,
+        markov=config.network_mode is NetworkMode.MARKOV,
+    )
+    engine = ColumnarEngine(
+        cohort,
+        device,
+        policy,
+        utility_model,
+        theta_bytes=config.theta_bytes_per_round,
+        kappa_joules=config.kappa_joules_per_round,
+        round_seconds=config.round_seconds,
+        duration_seconds=duration_seconds,
+        expected_batch=config.expected_batch,
+    )
+    result = engine.run()
+
+    outcomes: list[UserRunOutcome] = []
+    offsets = cohort.offsets
+    for index, user_id in enumerate(columns.user_ids):
+        records = columns.records[index]
+        base = int(offsets[index])
+        deliveries = [
+            Delivery(
+                time=time,
+                user_id=user_id,
+                item=_DeliveredItem(records[flat - base]),
+                level=level,
+                size_bytes=size,
+                energy_joules=share,
+                utility=utility,
+            )
+            for time, flat, level, size, share, utility in result.deliveries[
+                index
+            ]
+        ]
+        outcomes.append(
+            UserRunOutcome(
+                metrics=compute_user_metrics(user_id, records, deliveries),
+                mean_backlog_bytes=float(result.mean_backlog_bytes[index]),
+                max_queue_length=int(result.max_queue_length[index]),
+                final_queue_length=int(result.final_queue_length[index]),
+                failures=FailureStats(),
+                delivery_digest=(
+                    delivery_digest(deliveries) if digest_deliveries else None
+                ),
+            )
+        )
+    return outcomes
+
+
+def run_users_columnar(
+    user_records: Sequence[tuple[int, Sequence[NotificationRecord]]],
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations,
+    duration_seconds: float,
+    ladder=None,
+    digest_deliveries: bool = False,
+) -> list[UserRunOutcome]:
+    """Columnar equivalent of per-user ``run_user`` over a user batch."""
+    if ladder is None:
+        ladder = build_audio_ladder(config.presentation_spec)
+    aging = (
+        ExponentialAging(config.aging_tau_seconds)
+        if config.aging_tau_seconds
+        else None
+    )
+    utility_model = CombinedUtilityModel(aging=aging)
+    policy = registry.create(spec.policy_name, **spec.policy_params(config))
+    columns = build_cohort(
+        user_records,
+        annotations,
+        ladder,
+        materialize_items=needs_item_objects(policy, utility_model),
+    )
+    return run_cohort(
+        columns,
+        spec,
+        config,
+        duration_seconds,
+        digest_deliveries=digest_deliveries,
+    )
+
+
+def run_experiment_columnar(
+    workload: Workload,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations | None = None,
+    user_ids: Sequence[int] | None = None,
+) -> ExperimentResult:
+    """Columnar drop-in for :func:`repro.experiments.runner.run_experiment`.
+
+    Unsupported configs (faults, multi-feed) transparently fall back to
+    the scalar runner, so callers can treat this as the default engine.
+    """
+    if not supports(config):
+        return run_experiment(workload, spec, config, annotations, user_ids)
+    if annotations is None:
+        annotations = UtilityAnnotations.train(
+            workload, seed=config.seed, oracle=config.use_oracle_utility
+        )
+    duration_seconds = workload.config.duration_hours * 3600.0
+    users = list(user_ids) if user_ids is not None else workload.user_ids()
+    by_user = shard_by_user(workload.records, users)
+    user_records = [
+        (user_id, by_user[user_id]) for user_id in users if by_user[user_id]
+    ]
+    if not user_records:
+        raise ValueError("no users with notifications to simulate")
+    outcomes = run_users_columnar(
+        user_records, spec, config, annotations, duration_seconds
+    )
+    return ExperimentResult(
+        spec=spec,
+        config=config,
+        aggregate=aggregate([o.metrics for o in outcomes]),
+        per_user=outcomes,
+    )

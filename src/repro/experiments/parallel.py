@@ -1,29 +1,25 @@
-"""Parallel per-user experiment execution (one-shot convenience seam).
+"""Deprecated home of :func:`run_experiment_parallel` (moved to ``pool``).
 
-Section V-C: "while we run simulations using 10K users, our solution can
-potentially scale to a much larger user base using a backend parallel
-platform since our solution can work in rounds and independently for each
-user."  The backend lives in :mod:`repro.experiments.pool`: a persistent
-:class:`~repro.experiments.pool.ExperimentPool` whose workers receive the
-per-user record shards and utility score map once, through the pool
-initializer, and then replay (policy, budget) cells against the resident
-shards.
-
-This module keeps the original one-shot entry point:
-:func:`run_experiment_parallel` spins a pool up for a single cell and
-tears it down again.  For sweeps, use
-:func:`repro.experiments.pool.sweep_budgets_parallel`, which amortizes the
-pool over the whole grid.
+The one-shot parallel entry point now lives with the engine it wraps:
+:func:`repro.experiments.pool.run_experiment_parallel`.  This module
+keeps the legacy import path working with a :class:`DeprecationWarning`,
+matching the established shim pattern (``core.scheduler``,
+``core.baselines``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.experiments.config import ExperimentConfig, MethodSpec
-from repro.experiments.pool import ExperimentPool
+from repro.experiments.pool import (
+    run_experiment_parallel as _run_experiment_parallel,
+)
 from repro.experiments.runner import ExperimentResult, UtilityAnnotations
 from repro.trace.generator import Workload
+
+__all__ = ["run_experiment_parallel"]
 
 
 def run_experiment_parallel(
@@ -34,18 +30,18 @@ def run_experiment_parallel(
     user_ids: Sequence[int] | None = None,
     max_workers: int | None = None,
 ) -> ExperimentResult:
-    """Parallel equivalent of :func:`repro.experiments.runner.run_experiment`.
-
-    Deterministic: results are identical to the sequential runner (each
-    user's simulation is seeded independently of scheduling order, and
-    the pool folds outcomes in the sequential user order); only
-    wall-clock changes.
-    """
-    with ExperimentPool(
+    """Deprecated: use :func:`repro.experiments.pool.run_experiment_parallel`."""
+    warnings.warn(
+        "repro.experiments.parallel.run_experiment_parallel is deprecated; "
+        "import it from repro.experiments.pool instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_experiment_parallel(
         workload,
+        spec,
+        config,
         annotations=annotations,
         user_ids=user_ids,
         max_workers=max_workers,
-        base_config=config,
-    ) as pool:
-        return pool.run_cell(spec, config)
+    )

@@ -53,37 +53,66 @@ from repro.experiments.runner import (
     UtilityAnnotations,
     run_user,
 )
-from repro.experiments.shards import balanced_batches, shard_by_user
+from repro.experiments.shards import (
+    balanced_batches,
+    shard_by_user,
+    write_user_shards,
+)
 from repro.experiments.timing import StageTimer, SweepTelemetry
 from repro.trace.generator import Workload
+from repro.trace.io import TraceShardStore
 from repro.trace.records import NotificationRecord
 
-__all__ = ["ExperimentPool", "sweep_budgets_parallel"]
+__all__ = [
+    "ExperimentPool",
+    "run_experiment_parallel",
+    "sweep_budgets_parallel",
+]
 
 
 # -- worker side ---------------------------------------------------------------
 
 @dataclass
 class _WorkerState:
-    """Everything a worker holds for the lifetime of the pool."""
+    """Everything a worker holds for the lifetime of the pool.
 
-    shards: dict[int, list[NotificationRecord]]
+    Records arrive one of two ways: ``shards`` (pickled through the
+    initializer -- the default, no disk involved) or ``store_path`` (a
+    columnar shard store the worker memory-maps on first use -- the
+    initializer ships a path string, and record bytes reach the worker
+    via shared page cache instead of pickling).
+    """
+
+    shards: dict[int, list[NotificationRecord]] | None
+    store_path: str | None
     scores: dict[int, float]
     duration_seconds: float
+    store: TraceShardStore | None = None
+
+    def records_for(self, user_id: int) -> list[NotificationRecord]:
+        if self.shards is not None:
+            return self.shards[user_id]
+        if self.store is None:
+            self.store = TraceShardStore(self.store_path)
+        return self.store.records_for_user(user_id)
 
 
 _WORKER: _WorkerState | None = None
 
 
 def _init_worker(
-    shards: dict[int, list[NotificationRecord]],
+    shards: dict[int, list[NotificationRecord]] | None,
+    store_path: str | None,
     scores: dict[int, float],
     duration_seconds: float,
 ) -> None:
     """Pool initializer: receive the shared workload state exactly once."""
     global _WORKER
     _WORKER = _WorkerState(
-        shards=shards, scores=scores, duration_seconds=duration_seconds
+        shards=shards,
+        store_path=store_path,
+        scores=scores,
+        duration_seconds=duration_seconds,
     )
 
 
@@ -105,7 +134,7 @@ def _run_cell_batch(
     return [
         run_user(
             user_id,
-            state.shards[user_id],
+            state.records_for(user_id),
             spec,
             config,
             annotations,
@@ -207,6 +236,7 @@ class ExperimentPool:
         n_batches: int | None = None,
         base_config: ExperimentConfig | None = None,
         telemetry: SweepTelemetry | None = None,
+        shard_store_dir: "str | os.PathLike | None" = None,
     ) -> None:
         base_config = base_config or ExperimentConfig()
         self.telemetry = telemetry
@@ -235,10 +265,22 @@ class ExperimentPool:
                 n_batches = self.max_workers * 4
             self.batches = balanced_batches(counts, n_batches)
             self.duration_seconds = workload.config.duration_hours * 3600.0
+            self.shard_store_dir = None
+            if shard_store_dir is not None:
+                # Write the columnar store once; workers memory-map it and
+                # the initializer ships a path instead of pickled records.
+                self.shard_store_dir = str(shard_store_dir)
+                write_user_shards(self.shard_store_dir, shards, self.sim_users)
+                shards = None
             # Kept so a crashed pool can be rebuilt mid-sweep without the
             # parent re-sharding; the payload never leaves this process
             # except through a pool initializer.
-            self._initargs = (shards, annotations.scores, self.duration_seconds)
+            self._initargs = (
+                shards,
+                self.shard_store_dir,
+                annotations.scores,
+                self.duration_seconds,
+            )
             self.worker_restarts = 0
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
@@ -253,6 +295,7 @@ class ExperimentPool:
                 users=len(self.sim_users),
                 records=sum(counts.values()),
                 worker_restarts=0,
+                shard_store=self.shard_store_dir is not None,
             )
 
     # -- lifecycle -------------------------------------------------------------
@@ -396,6 +439,34 @@ class ExperimentPool:
         if self.telemetry is not None:
             self.telemetry.meta["worker_restarts"] = self.worker_restarts
         return {key: state.result() for key, state in states.items()}
+
+
+def run_experiment_parallel(
+    workload: Workload,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations | None = None,
+    user_ids: Sequence[int] | None = None,
+    max_workers: int | None = None,
+) -> ExperimentResult:
+    """Parallel equivalent of :func:`repro.experiments.runner.run_experiment`.
+
+    One-shot convenience: spins a pool up for a single cell and tears it
+    down again.  Deterministic -- results are identical to the sequential
+    runner (each user's simulation is seeded independently of scheduling
+    order, and the pool folds outcomes in the sequential user order);
+    only wall-clock changes.  For sweeps, use
+    :func:`sweep_budgets_parallel`, which amortizes the pool over the
+    whole grid.
+    """
+    with ExperimentPool(
+        workload,
+        annotations=annotations,
+        user_ids=user_ids,
+        max_workers=max_workers,
+        base_config=config,
+    ) as pool:
+        return pool.run_cell(spec, config)
 
 
 def sweep_budgets_parallel(

@@ -1,0 +1,231 @@
+"""Population-scale throughput benchmark: columnar core vs per-user loop.
+
+ISSUE 8's acceptance gate is quantitative: the columnar engine must
+replay >= 5x more users per second per core than the scalar object-graph
+loop at a 10k-user population, and ``BENCH_scalability.json`` must
+record a users/sec/core curve at 10k and 100k users (1M as an opt-in
+smoke).  This module is the measurement: it streams a cohort out of
+:func:`repro.trace.generator.iter_users` (never materializing the full
+population), replays it in bounded-memory chunks through
+:func:`repro.experiments.columnar.run_cohort`, replays a user sample
+through the scalar :func:`repro.experiments.runner.run_user` twin, and
+asserts delivery-digest parity on the overlap before reporting speed --
+a fast benchmark that silently diverged from the oracle would be a lie.
+
+Scoring uses the oracle annotations (clicked -> 0.9 else 0.1) rather
+than a trained forest: the benchmark isolates the simulation core, and
+both paths consume the identical score table so the comparison stays
+apples to apples.
+
+Wall-clock here is host time (``time.perf_counter``), outside the
+deterministic zone -- telemetry only, never fed back into scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.presentations import build_audio_ladder
+from repro.experiments.columnar import build_cohort, run_cohort
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.runner import UserRunOutcome, UtilityAnnotations, run_user
+from repro.runtime.columnar import round_times
+from repro.trace.generator import TraceConfig, iter_users
+from repro.trace.records import NotificationRecord
+
+__all__ = ["SCHEMA", "bench_scale", "write_scale_report"]
+
+#: Version tag of the BENCH_scalability.json layout.
+SCHEMA = "richnote-bench-scale/1"
+
+
+def _oracle_annotations(
+    user_records: Iterable[tuple[int, Sequence[NotificationRecord]]],
+) -> UtilityAnnotations:
+    """Ground-truth content scores for a chunk (no classifier in the loop)."""
+    scores = {
+        record.notification_id: (0.9 if record.clicked else 0.1)
+        for _, records in user_records
+        for record in records
+    }
+    return UtilityAnnotations(scores=scores)
+
+
+def _chunked(
+    pairs: Iterator[tuple[int, list[NotificationRecord]]], size: int
+) -> Iterator[list[tuple[int, list[NotificationRecord]]]]:
+    chunk: list[tuple[int, list[NotificationRecord]]] = []
+    for pair in pairs:
+        chunk.append(pair)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _scalar_twin(
+    pairs: Sequence[tuple[int, list[NotificationRecord]]],
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    annotations: UtilityAnnotations,
+    duration_seconds: float,
+) -> list[UserRunOutcome]:
+    return [
+        run_user(
+            user_id,
+            records,
+            spec,
+            config,
+            annotations,
+            duration_seconds,
+            digest_deliveries=True,
+        )
+        for user_id, records in pairs
+    ]
+
+
+def bench_scale(
+    user_counts: Sequence[int],
+    *,
+    seed: int = 97,
+    scalar_sample: int = 150,
+    parity_sample: int = 25,
+    chunk_users: int = 20_000,
+    spec: MethodSpec | None = None,
+) -> dict:
+    """Measure users/sec/core at each population size in ``user_counts``.
+
+    For every count the columnar engine replays the whole streamed
+    cohort (in ``chunk_users``-sized chunks so peak memory stays one
+    chunk); the scalar loop replays the first ``scalar_sample`` users
+    with notifications and is extrapolated to a rate.  The first
+    ``parity_sample`` users are replayed on *both* paths and their
+    delivery digests compared -- the speedup is only reported over a
+    verified-identical computation.
+
+    Returns the ``BENCH_scalability.json`` payload (see :data:`SCHEMA`).
+    """
+    if not user_counts:
+        raise ValueError("user_counts must be non-empty")
+    if scalar_sample < 1 or parity_sample < 0:
+        raise ValueError("sample sizes must be positive")
+    spec = spec or MethodSpec(Method.RICHNOTE)
+    config = ExperimentConfig(seed=seed)
+    trace_config = TraceConfig(seed=seed)
+    duration_seconds = trace_config.duration_hours * 3600.0
+    ladder = build_audio_ladder(config.presentation_spec)
+    wall_start = time.perf_counter()
+
+    curve: list[dict] = []
+    for count in sorted(user_counts):
+        columnar_s = 0.0
+        generate_s = 0.0
+        users_run = 0
+        records_run = 0
+        rounds = 0
+        parity_checked = 0
+        head: list[tuple[int, list[NotificationRecord]]] = []
+        stream = iter_users(count, trace_config)
+        gen_start = time.perf_counter()
+        for chunk in _chunked(
+            ((u, r) for u, r in stream if r), chunk_users
+        ):
+            generate_s += time.perf_counter() - gen_start
+            if len(head) < scalar_sample:
+                head.extend(chunk[: scalar_sample - len(head)])
+            annotations = _oracle_annotations(chunk)
+            start = time.perf_counter()
+            columns = build_cohort(chunk, annotations, ladder)
+            outcomes = run_cohort(
+                columns,
+                spec,
+                config,
+                duration_seconds,
+                digest_deliveries=parity_checked < parity_sample,
+            )
+            columnar_s += time.perf_counter() - start
+            users_run += len(chunk)
+            records_run += columns.cohort.n_items
+            if parity_checked < parity_sample:
+                take = min(parity_sample - parity_checked, len(chunk))
+                twins = _scalar_twin(
+                    chunk[:take], spec, config, annotations, duration_seconds
+                )
+                for outcome, twin in zip(outcomes[:take], twins):
+                    if outcome.delivery_digest != twin.delivery_digest:
+                        raise AssertionError(
+                            "columnar/scalar delivery digests diverged for "
+                            f"user {twin.metrics.user_id} at {count} users"
+                        )
+                parity_checked += take
+            gen_start = time.perf_counter()
+        generate_s += time.perf_counter() - gen_start
+        if not users_run:
+            raise ValueError(f"population of {count} produced no records")
+        rounds = len(round_times(config.round_seconds, duration_seconds))
+
+        sample = head[:scalar_sample]
+        annotations = _oracle_annotations(sample)
+        start = time.perf_counter()
+        _scalar_twin(sample, spec, config, annotations, duration_seconds)
+        scalar_s = time.perf_counter() - start
+
+        columnar_rate = users_run / columnar_s
+        scalar_rate = len(sample) / scalar_s
+        curve.append(
+            {
+                # Requested population vs users that actually had records
+                # (the gate keys on ``population``: a 10k request yields
+                # slightly fewer non-empty users).
+                "population": count,
+                "users": users_run,
+                "records": records_run,
+                "rounds": rounds,
+                "generate_s": round(generate_s, 6),
+                "columnar": {
+                    "wall_s": round(columnar_s, 6),
+                    "users_per_sec_per_core": round(columnar_rate, 3),
+                },
+                "scalar": {
+                    "sampled_users": len(sample),
+                    "wall_s": round(scalar_s, 6),
+                    "users_per_sec_per_core": round(scalar_rate, 3),
+                },
+                "parity_checked_users": parity_checked,
+                "speedup": round(columnar_rate / scalar_rate, 3),
+            }
+        )
+
+    return {
+        "schema": SCHEMA,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "meta": {
+            "seed": seed,
+            "method": spec.label,
+            "scoring": "oracle",
+            "chunk_users": chunk_users,
+            "cores_used": 1,
+            "cores_available": os.cpu_count() or 1,
+        },
+        "curve": curve,
+        "totals": {
+            "populations": len(curve),
+            "wall_s": round(time.perf_counter() - wall_start, 6),
+        },
+    }
+
+
+def write_scale_report(path, payload: dict) -> dict:
+    """Serialize a :func:`bench_scale` payload (BENCH_scalability.json)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -25,8 +25,9 @@ from typing import Iterator
 
 __all__ = ["CellTiming", "StageTimer", "SweepTelemetry"]
 
-#: Version tag of the BENCH_sweep.json layout.
-SCHEMA = "richnote-bench-sweep/1"
+#: Version tag of the BENCH_sweep.json layout.  /2 records the simulated
+#: population in ``totals.users`` (and stops pinning benches at 10 users).
+SCHEMA = "richnote-bench-sweep/2"
 
 
 class StageTimer:
@@ -114,6 +115,9 @@ class SweepTelemetry:
             ],
             "totals": {
                 "cells": len(self.cells),
+                "users": max(
+                    (cell.users for cell in self.cells.values()), default=0
+                ),
                 "wall_s": round(time.perf_counter() - self._wall_start, 6),
             },
         }

@@ -1,0 +1,763 @@
+"""Columnar multi-user round execution: struct-of-arrays, one cohort at a time.
+
+The scalar stack (:mod:`repro.runtime.loop` driven per user through
+:class:`repro.sim.engine.Simulator`) walks one Python object graph per
+user per round.  That is the right shape for extensibility -- policies,
+fault engines and observers all hook the loop -- but it caps simulations
+at a few hundred users.  This module re-expresses the *paper-default*
+round semantics (no TTL, no fault engine, no level caps) as columns over
+a whole cohort:
+
+* :class:`ColumnarRoundState` -- the Algorithm 2 state as parallel numpy
+  arrays: byte budgets ``B(t)``, energy budgets ``P(t)``, backlog
+  ``Q(t)``, pending-notification counts and per-user RNG lanes, plus the
+  ragged per-user scheduling queues (lists of flat item indices --
+  masking happens by slicing, not padding);
+* :class:`DeviceColumns` -- per-round connectivity states and battery
+  replenishment ``e(t)`` for every user, precomputed from the *same*
+  seeded :mod:`repro.sim` models the scalar path steps round by round;
+* :class:`ColumnarEngine` -- the phase loop (ingest / replenish / select
+  / deliver) over those columns.  Built-in policies
+  (:class:`~repro.runtime.policy.RichNotePolicy`,
+  :class:`~repro.runtime.policy.FifoPolicy`,
+  :class:`~repro.runtime.policy.UtilPolicy`) run on cohort-wide kernels
+  (:func:`repro.runtime.kernels.lyapunov_adjusted_rows` et al.); any
+  other :class:`~repro.runtime.policy.SchedulerPolicy` runs unchanged
+  through a per-user :class:`~repro.runtime.policy.RoundContext`
+  adapter, exactly the snapshot :class:`~repro.runtime.loop.RoundLoop`
+  would hand it.
+
+Bit-for-bit parity with the scalar path is a hard contract, not an
+aspiration: every float operation pairs the same operands in the same
+order as the object path (see the golden-digest tests in
+``tests/test_runtime.py`` and the seeded property tests in
+``tests/test_columnar.py``).  When editing this module, treat any change
+to an arithmetic expression as a digest-breaking change.
+
+Scope: the engine models the paper's atomic delivery semantics.  TTL
+expiry, the fault-tolerant delivery engine and service-layer level caps
+stay on the scalar path (orchestration falls back per
+``repro.experiments.columnar.supports``).  One presentation ladder is
+shared across the cohort, mirroring how the experiment layer builds
+items.  Policy lifecycle hooks run once per engine, not once per user:
+``attach`` is invoked against a budget shim at bind time, and
+``after_round`` diagnostics are not replayed -- deliveries and metrics,
+the parity surface, are unaffected.
+
+Layering (richlint RL601): this module sits in the runtime zone -- it
+may use :mod:`repro.core`, :mod:`repro.sim` and its sibling runtime
+modules, never :mod:`repro.experiments` or the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budgets import EnergyBudget
+from repro.core.content import ContentItem, PresentationLadder
+from repro.core.utility import CombinedUtilityModel, ExponentialAging
+from repro.runtime import kernels
+from repro.runtime.policy import (
+    FifoPolicy,
+    RichNotePolicy,
+    RoundContext,
+    SchedulerPolicy,
+    UtilPolicy,
+)
+from repro.sim.battery import DiurnalBatteryModel
+from repro.sim.energy import TransferEnergyModel
+from repro.sim.network import (
+    DEFAULT_BANDWIDTH_BPS,
+    MarkovNetworkModel,
+    NetworkState,
+)
+
+__all__ = [
+    "ColumnarCohort",
+    "ColumnarEngine",
+    "ColumnarRoundState",
+    "ColumnarRunResult",
+    "DeviceColumns",
+    "build_device_columns",
+    "needs_item_objects",
+    "round_times",
+]
+
+
+def needs_item_objects(
+    policy: "SchedulerPolicy", utility_model: CombinedUtilityModel
+) -> bool:
+    """Whether this policy/model pair runs on the RoundContext adapter path.
+
+    The built-in policies under the stock utility model run on cohort
+    kernels and never touch :class:`~repro.core.content.ContentItem`
+    objects; anything else needs ``cohort.items`` materialized.  Exposed
+    so orchestration layers can decide without importing concrete policy
+    classes.
+    """
+    if type(utility_model) is not CombinedUtilityModel:
+        return True
+    return type(policy) not in (RichNotePolicy, FifoPolicy, UtilPolicy)
+
+#: Compact per-round connectivity codes used by :class:`DeviceColumns`.
+STATE_CODES: dict[NetworkState, int] = {
+    NetworkState.CELL: 0,
+    NetworkState.WIFI: 1,
+    NetworkState.OFF: 2,
+}
+_CODE_STATES: tuple[NetworkState, ...] = (
+    NetworkState.CELL,
+    NetworkState.WIFI,
+    NetworkState.OFF,
+)
+_OFF_CODE = STATE_CODES[NetworkState.OFF]
+
+
+def round_times(round_seconds: float, duration_seconds: float) -> list[float]:
+    """The exact round-tick times the event-driven runner produces.
+
+    Replicates :meth:`repro.sim.engine.Simulator.schedule_periodic` with
+    ``start=round_seconds``, ``until=duration + 1.0`` under a
+    ``run(until=duration + 2.0)`` horizon -- including the float
+    *accumulation* (``t += period``), which is not the same sequence as
+    ``k * period`` once rounding error compounds.  Battery traces sample
+    with the same accumulation, so round ``k`` reads battery sample
+    ``k + 1`` exactly as the scalar path does.
+    """
+    if round_seconds <= 0:
+        raise ValueError(f"period must be positive, got {round_seconds}")
+    times: list[float] = []
+    if round_seconds < duration_seconds + 2.0:
+        t = round_seconds
+        times.append(t)
+        while t + round_seconds < duration_seconds + 1.0:
+            t = t + round_seconds
+            times.append(t)
+    return times
+
+
+@dataclass
+class ColumnarCohort:
+    """A population's notification streams as flat, user-partitioned columns.
+
+    Items of user ``user_ids[u]`` occupy flat positions
+    ``offsets[u]:offsets[u + 1]``, stable-sorted by ``created_at`` within
+    the user (the order the event heap would ingest them).  One
+    presentation ladder is shared cohort-wide.  ``items`` is optional and
+    only needed by the generic-policy adapter path; the built-in fast
+    paths never materialize :class:`~repro.core.content.ContentItem`
+    objects.
+    """
+
+    user_ids: list[int]
+    offsets: np.ndarray
+    item_ids: list[int]
+    created_at: np.ndarray
+    contents: np.ndarray
+    ladder: PresentationLadder
+    items: list[ContentItem] | None = None
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.created_at = np.asarray(self.created_at, dtype=np.float64)
+        self.contents = np.asarray(self.contents, dtype=np.float64)
+        n_users = len(self.user_ids)
+        if self.offsets.shape != (n_users + 1,):
+            raise ValueError(
+                f"offsets must have length n_users + 1 = {n_users + 1}, "
+                f"got {self.offsets.shape}"
+            )
+        if int(self.offsets[0]) != 0 or np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must start at 0 and be non-decreasing")
+        n_items = int(self.offsets[-1])
+        for name, column in (
+            ("item_ids", self.item_ids),
+            ("created_at", self.created_at),
+            ("contents", self.contents),
+        ):
+            if len(column) != n_items:
+                raise ValueError(
+                    f"{name} has {len(column)} entries, offsets imply {n_items}"
+                )
+        if self.items is not None and len(self.items) != n_items:
+            raise ValueError("items, when given, must align with the columns")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.offsets[-1])
+
+
+@dataclass
+class DeviceColumns:
+    """Per-round device context for every user, precomputed as columns.
+
+    ``e_t[k, u]`` is user ``u``'s battery-aware energy replenishment at
+    round ``k``; ``states[k, u]`` their connectivity code
+    (:data:`STATE_CODES`), or ``None`` when the whole cohort is pinned to
+    CELL (the paper's main cellular-only setup).  ``seeds[u]`` is the
+    device RNG lane the columns were drawn from.
+    """
+
+    e_t: np.ndarray
+    states: np.ndarray | None
+    seeds: np.ndarray
+
+
+def build_device_columns(
+    seeds: Sequence[int],
+    times: Sequence[float],
+    round_seconds: float,
+    duration_seconds: float,
+    kappa_joules: float,
+    markov: bool = False,
+) -> DeviceColumns:
+    """Precompute battery + connectivity columns from per-user RNG lanes.
+
+    Runs the *actual* :class:`~repro.sim.battery.DiurnalBatteryModel` and
+    :class:`~repro.sim.network.MarkovNetworkModel` once per user -- same
+    seeds, same draw order as the scalar device construction -- then
+    evaluates them at every round time.  Round ``k``'s replenishment
+    lookup lands on battery sample ``k + 1`` by construction: samples
+    accumulate ``0.0 + round_seconds + ...`` while round times accumulate
+    ``round_seconds + ...``, bit-identical sequences offset by one.  That
+    lets the battery column come straight from
+    :meth:`~repro.sim.battery.DiurnalBatteryModel.replenishment_column`
+    -- the same recurrence with the same draw order as a materialized
+    :class:`~repro.sim.battery.BatteryTrace`, minus the per-sample
+    objects and per-call bisect (clamping to the last sample exactly as
+    the bisect would for round times past the trace).
+    """
+    n_rounds = len(times)
+    n_users = len(seeds)
+    e_t = np.zeros((n_rounds, n_users), dtype=np.float64)
+    states = (
+        np.zeros((n_rounds, n_users), dtype=np.int8) if markov else None
+    )
+    for column, seed in enumerate(seeds):
+        if markov:
+            network = MarkovNetworkModel(rng=random.Random(seed))
+            for k in range(n_rounds):
+                states[k, column] = STATE_CODES[network.step()]
+        if n_rounds:
+            model = DiurnalBatteryModel(rng=random.Random(seed + 1))
+            e_t[:, column] = model.replenishment_column(
+                n_rounds, round_seconds, duration_seconds, kappa_joules
+            )
+    return DeviceColumns(
+        e_t=e_t, states=states, seeds=np.asarray(seeds, dtype=np.int64)
+    )
+
+
+@dataclass
+class ColumnarRoundState:
+    """Algorithm 2's mutable state as parallel columns over the cohort.
+
+    ``queues`` are ragged -- one list of flat item indices per user --
+    because queue lengths vary wildly across a population; the dense
+    arrays carry everything with a fixed per-user width.  ``q_bytes`` and
+    ``pending`` are refreshed to end-of-round snapshots after each round
+    (the values the scalar ``RoundResult`` records).
+    """
+
+    data_available: np.ndarray
+    energy_available: np.ndarray
+    q_bytes: np.ndarray
+    pending: np.ndarray
+    rng_seeds: np.ndarray
+    queues: list[list[int]] = field(default_factory=list)
+
+
+@dataclass
+class ColumnarRunResult:
+    """Per-user outcome columns of one engine run.
+
+    ``deliveries[u]`` holds user ``u``'s realized deliveries in order as
+    ``(time, flat_index, level, size_bytes, energy_share_joules,
+    utility)`` tuples of plain Python scalars -- the exact fields (and
+    bit-exact values) the scalar path's
+    :class:`~repro.runtime.types.Delivery` records.
+    """
+
+    deliveries: list[list[tuple]]
+    mean_backlog_bytes: np.ndarray
+    max_queue_length: np.ndarray
+    final_queue_length: np.ndarray
+    rounds: int
+
+
+class _AttachShim:
+    """Just enough of a RoundLoop for ``policy.attach`` to validate against."""
+
+    def __init__(self, kappa_joules: float) -> None:
+        self.energy_budget = EnergyBudget(kappa_joules=kappa_joules)
+
+
+class ColumnarEngine:
+    """Round loop over a whole cohort of users, phase by phase.
+
+    Mirrors :class:`repro.runtime.loop.RoundLoop`'s phase sequence --
+    ingest, replenish, select, deliver -- but each phase touches columns
+    instead of one user's objects.  Selection dispatches on the bound
+    policy: the three built-ins get cohort-batched kernels; anything else
+    runs per user through a :class:`~repro.runtime.policy.RoundContext`
+    (requires ``cohort.items``).
+
+    Parameters mirror what the experiment layer derives from its config:
+    ``theta_bytes`` / ``kappa_joules`` parameterize the budgets (data
+    starts empty, energy starts at ``kappa``, as in
+    :mod:`repro.core.budgets`), ``device`` carries the precomputed
+    per-round connectivity/battery columns, and ``expected_batch``
+    prices selection-time energy estimates.
+    """
+
+    def __init__(
+        self,
+        cohort: ColumnarCohort,
+        device: DeviceColumns,
+        policy: SchedulerPolicy,
+        utility_model: CombinedUtilityModel | None = None,
+        *,
+        theta_bytes: float,
+        kappa_joules: float,
+        round_seconds: float,
+        duration_seconds: float,
+        expected_batch: int = 10,
+        energy_model: TransferEnergyModel | None = None,
+    ) -> None:
+        self.cohort = cohort
+        self.device = device
+        self.policy = policy
+        self.utility_model = utility_model or CombinedUtilityModel()
+        self.times = round_times(round_seconds, duration_seconds)
+        n_rounds = len(self.times)
+        if device.e_t.shape != (n_rounds, cohort.n_users):
+            raise ValueError(
+                f"device columns shaped {device.e_t.shape}, expected "
+                f"{(n_rounds, cohort.n_users)}; build them from the same "
+                "round grid"
+            )
+        self._theta = theta_bytes
+        self._kappa = kappa_joules
+        self._energy_model = energy_model or TransferEnergyModel()
+        self._expected_batch = expected_batch
+        self._aging = self.utility_model.aging
+
+        ladder = cohort.ladder
+        n_levels = ladder.max_level + 1
+        self._level_sizes = [ladder.size(level) for level in range(n_levels)]
+        self._presentation_row = [
+            ladder.utility(level) for level in range(n_levels)
+        ]
+        self._ladder_total = ladder.total_size()
+        self._ladder_total_f = float(self._ladder_total)
+
+        # Per-state precomputation: round capacity, the shared per-level
+        # energy-estimate row and a selection-time estimator closure --
+        # the device's network state is fixed within a round, so these
+        # are pure functions of the state.
+        self._capacity: dict[int, float] = {}
+        self._energies_row: dict[int, list[float]] = {}
+        self._estimate_fns: dict[int, object] = {}
+        for state in (NetworkState.CELL, NetworkState.WIFI):
+            code = STATE_CODES[state]
+            self._capacity[code] = DEFAULT_BANDWIDTH_BPS[state] * round_seconds
+            self._energies_row[code] = [0.0] + [
+                self._energy_model.estimate_for_selection(
+                    state, size, expected_batch=expected_batch
+                )
+                for size in self._level_sizes[1:]
+            ]
+            self._estimate_fns[code] = self._make_estimator(state)
+
+        # Column views the per-user Python loops index into.
+        self._created_np = cohort.created_at
+        self._created_list = cohort.created_at.tolist()
+        self._contents_np = cohort.contents
+        self._contents_list = cohort.contents.tolist()
+        self._item_ids = cohort.item_ids
+
+        users = cohort.n_users
+        self.state = ColumnarRoundState(
+            data_available=np.zeros(users, dtype=np.float64),
+            energy_available=np.full(users, float(kappa_joules)),
+            q_bytes=np.zeros(users, dtype=np.float64),
+            pending=np.zeros(users, dtype=np.int64),
+            rng_seeds=device.seeds,
+            queues=[[] for _ in range(users)],
+        )
+        self._deliveries: list[list[tuple]] = [[] for _ in range(users)]
+        self._backlog_sum = np.zeros(users, dtype=np.float64)
+        self._max_queue = np.zeros(users, dtype=np.int64)
+        self._next_round = 0
+        # Queue lengths maintained incrementally (ingest +1, deliver
+        # rebuild) so per-round snapshots avoid an O(users) len() scan.
+        self._counts: list[int] = [0] * users
+
+        self._ingest_buckets = self._build_ingest_buckets()
+        self._bind_policy()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _build_ingest_buckets(self) -> list[list[int]]:
+        """Flat item indices joining the scheduling queue at each round.
+
+        Within a bucket, each user's items keep their flat (stable
+        created-at) order, so per-user append order matches the event
+        heap's ``(time, sequence)`` ordering.
+        """
+        n_rounds = len(self.times)
+        rounds = kernels.ingest_round_index(self._created_np, self.times)
+        buckets: list[list[int]] = [[] for _ in range(n_rounds)]
+        offsets = self.cohort.offsets
+        user_of = np.repeat(
+            np.arange(self.cohort.n_users, dtype=np.int64), np.diff(offsets)
+        )
+        self._user_of = user_of.tolist()
+        for index, round_index in enumerate(rounds.tolist()):
+            if round_index < n_rounds:
+                buckets[round_index].append(index)
+        return buckets
+
+    def _bind_policy(self) -> None:
+        policy = self.policy
+        attach = getattr(policy, "attach", None)
+        if attach is not None:
+            attach(_AttachShim(self._kappa))
+        if not needs_item_objects(policy, self.utility_model) and (
+            type(policy) is RichNotePolicy
+        ):
+            self._mode = "richnote"
+            self._lyapunov = policy.controller.config
+            self._select_fn = (
+                kernels.greedy_select_hull
+                if policy.use_hull_selector
+                else kernels.greedy_select
+            )
+        elif not needs_item_objects(policy, self.utility_model):
+            self._mode = "fifo" if type(policy) is FifoPolicy else "util"
+            self._fixed_level = min(
+                policy.fixed_level, self.cohort.ladder.max_level
+            )
+        else:
+            self._mode = "compat"
+            if self.cohort.items is None:
+                raise ValueError(
+                    "a custom policy or utility model needs cohort.items "
+                    "(materialized ContentItems) for the RoundContext "
+                    "adapter path"
+                )
+
+    def _make_estimator(self, state: NetworkState):
+        model = self._energy_model
+        expected_batch = self._expected_batch
+
+        def estimate(size_bytes: float) -> float:
+            return model.estimate_for_selection(
+                state, size_bytes, expected_batch=expected_batch
+            )
+
+        return estimate
+
+    # -- the round loop --------------------------------------------------------
+
+    def run(self, limit_rounds: int | None = None) -> ColumnarRunResult:
+        """Execute rounds (all remaining, or at most ``limit_rounds``).
+
+        Resumable: a second call continues where the first stopped, so
+        ``run(limit_rounds=1)`` single-steps.  Parity with the scalar
+        per-user replay holds once every round has run.
+        """
+        stop = len(self.times)
+        if limit_rounds is not None:
+            if limit_rounds < 0:
+                raise ValueError("limit_rounds must be >= 0")
+            stop = min(stop, self._next_round + limit_rounds)
+        for k in range(self._next_round, stop):
+            self._run_round(k, self.times[k])
+        self._next_round = stop
+        return self.result()
+
+    def result(self) -> ColumnarRunResult:
+        """Outcome columns over the rounds executed so far."""
+        rounds = self._next_round
+        if rounds:
+            mean_backlog = self._backlog_sum / rounds
+        else:
+            mean_backlog = np.zeros(self.cohort.n_users, dtype=np.float64)
+        return ColumnarRunResult(
+            deliveries=self._deliveries,
+            mean_backlog_bytes=mean_backlog,
+            max_queue_length=self._max_queue,
+            final_queue_length=self.state.pending,
+            rounds=rounds,
+        )
+
+    def _run_round(self, k: int, now: float) -> None:
+        state = self.state
+        queues = state.queues
+        counts = self._counts
+        user_of = self._user_of
+        for index in self._ingest_buckets[k]:
+            u = user_of[index]
+            queues[u].append(index)
+            counts[u] += 1
+        kernels.replenish_data_column(state.data_available, self._theta)
+        kernels.replenish_energy_column(
+            state.energy_available, self.device.e_t[k], self._kappa
+        )
+        self._select_and_deliver(k, now)
+        pending = np.asarray(counts, dtype=np.int64)
+        state.pending = pending
+        state.q_bytes = pending * self._ladder_total_f
+        self._backlog_sum += state.q_bytes
+        np.maximum(self._max_queue, pending, out=self._max_queue)
+
+    def _select_and_deliver(self, k: int, now: float) -> None:
+        """Connectivity-gated selection, grouped by network state."""
+        counts = np.asarray(self._counts, dtype=np.int64)
+        active = np.nonzero(counts)[0]
+        if self.device.states is None:
+            groups = [(STATE_CODES[NetworkState.CELL], active)]
+        else:
+            active_codes = self.device.states[k][active]
+            groups = [
+                (code, active[active_codes == code])
+                for code in range(_OFF_CODE)
+            ]
+        for code, members in groups:
+            if not members.size:
+                continue
+            if self._mode == "richnote":
+                self._select_richnote(now, code, members, counts[members])
+            elif self._mode == "compat":
+                self._select_compat(now, code, members.tolist())
+            else:
+                self._select_fixed(now, code, members)
+
+    # -- decayed content utilities ---------------------------------------------
+
+    def _decay_column_at(self, flat: np.ndarray, now: float) -> np.ndarray:
+        """Decayed content utilities for a flat index column (numpy path)."""
+        contents = self._contents_np[flat]
+        aging = self._aging
+        if aging is None:
+            return contents
+        ages = np.maximum(0.0, now - self._created_np[flat])
+        if type(aging) is ExponentialAging:
+            return kernels.exp_decay_column(contents, ages, aging.tau_seconds)
+        return np.asarray(
+            [
+                aging.decay(float(content), float(age))
+                for content, age in zip(contents, ages)
+            ],
+            dtype=np.float64,
+        )
+
+    def _decayed_scalar(self, index: int, now: float) -> float:
+        """One item's decayed content utility, in pure Python floats."""
+        content = self._contents_list[index]
+        aging = self._aging
+        if aging is None:
+            return content
+        return aging.decay(content, max(0.0, now - self._created_list[index]))
+
+    # -- selection fast paths --------------------------------------------------
+
+    def _select_richnote(
+        self,
+        now: float,
+        code: int,
+        members: np.ndarray,
+        group_counts: np.ndarray,
+    ) -> None:
+        """Eq. 7 + Algorithm 1 over every queued item of the group at once."""
+        state = self.state
+        queues = state.queues
+        flat: list[int] = []
+        bounds: list[tuple[int, int, int]] = []
+        for u in members.tolist():
+            start = len(flat)
+            flat.extend(queues[u])
+            bounds.append((u, start, len(flat)))
+        flat_arr = np.asarray(flat, dtype=np.intp)
+        decayed = self._decay_column_at(flat_arr, now)
+        utilities = kernels.combined_utility_matrix(
+            decayed, self._presentation_row
+        )
+        cfg = self._lyapunov
+        # q = len(queue) * ladder_total: exact int -> float64 conversion,
+        # identical bits to the scalar path's float(len * total).
+        adjusted = kernels.lyapunov_adjusted_rows(
+            utilities,
+            self._energies_row[code],
+            self._ladder_total_f,
+            np.repeat(group_counts * self._ladder_total_f, group_counts),
+            np.repeat(state.energy_available[members], group_counts),
+            kappa_joules=cfg.kappa_joules,
+            v=cfg.v,
+            size_scale=cfg.size_scale,
+            energy_scale=cfg.energy_scale,
+        )
+        rows = adjusted.tolist()
+        decayed_list = decayed.tolist()
+        level_sizes = self._level_sizes
+        level_utils = self._presentation_row
+        item_ids = self._item_ids
+        select_fn = self._select_fn
+        budgets = np.minimum(
+            state.data_available[members], self._capacity[code]
+        ).tolist()
+        for (u, start, end), user_budget in zip(bounds, budgets):
+            budget = int(user_budget)
+            n = end - start
+            levels, _, _ = select_fn(
+                [item_ids[i] for i in flat[start:end]],
+                [level_sizes] * n,
+                rows[start:end],
+                budget,
+            )
+            chosen = [
+                (
+                    flat[start + position],
+                    level,
+                    decayed_list[start + position] * level_utils[level],
+                )
+                for position, level in enumerate(levels)
+                if level > 0
+            ]
+            if not chosen:
+                continue
+            chosen.sort(key=lambda entry: entry[2], reverse=True)
+            self._deliver(u, now, chosen, code)
+
+    def _select_fixed(
+        self, now: float, code: int, members: np.ndarray
+    ) -> None:
+        """FIFO/UTIL baselines: order, greedy-fill at the fixed level."""
+        state = self.state
+        queues = state.queues
+        level = self._fixed_level
+        size = self._level_sizes[level]
+        level_util = self._presentation_row[level]
+        created = self._created_list
+        by_util = self._mode == "util"
+        budgets = np.minimum(
+            state.data_available[members], self._capacity[code]
+        ).tolist()
+        for u, user_budget in zip(members.tolist(), budgets):
+            queue = queues[u]
+            if by_util:
+                keys = {
+                    i: self._decayed_scalar(i, now) * level_util for i in queue
+                }
+                ordered = sorted(queue, key=keys.__getitem__, reverse=True)
+            else:
+                ordered = sorted(queue, key=created.__getitem__)
+            remaining = int(user_budget)
+            chosen: list[int] = []
+            for i in ordered:
+                if size <= remaining:
+                    chosen.append(i)
+                    remaining -= size
+            if not chosen:
+                continue
+            if by_util:
+                selected = [(i, level, keys[i]) for i in chosen]
+            else:
+                selected = [
+                    (i, level, self._decayed_scalar(i, now) * level_util)
+                    for i in chosen
+                ]
+            selected.sort(key=lambda entry: entry[2], reverse=True)
+            self._deliver(u, now, selected, code)
+
+    def _select_compat(
+        self, now: float, code: int, users: Sequence[int]
+    ) -> None:
+        """Generic policies: one RoundLoop-shaped context per user.
+
+        The snapshot matches :meth:`repro.runtime.loop.RoundLoop.make_context`
+        field for field, so any :class:`~repro.runtime.policy.SchedulerPolicy`
+        selects exactly as it would inside the scalar loop.  Policies must
+        be stateless across rounds (one shared instance serves the whole
+        cohort).
+        """
+        state = self.state
+        items_all = self.cohort.items
+        model = self.utility_model
+        estimate = self._estimate_fns[code]
+        capacity = self._capacity[code]
+        for u in users:
+            queue = state.queues[u]
+            items = [items_all[i] for i in queue]
+            budget = int(min(state.data_available[u], capacity))
+            context = RoundContext(
+                now=now,
+                effective_budget=budget,
+                items=items,
+                backlog_bytes=float(len(queue) * self._ladder_total),
+                energy_available_joules=float(state.energy_available[u]),
+                utility_model=model,
+                estimate_energy=estimate,
+            )
+            selected = list(self.policy.select(context).selections)
+            selected.sort(
+                key=lambda pair: model.utility(pair[0], pair[1], now),
+                reverse=True,
+            )
+            index_of = {self._item_ids[i]: i for i in queue}
+            chosen = [
+                (
+                    index_of[item.item_id],
+                    level,
+                    model.utility(item, level, now),
+                )
+                for item, level in selected
+            ]
+            self._deliver(u, now, chosen, code)
+
+    # -- delivery --------------------------------------------------------------
+
+    def _deliver(
+        self,
+        u: int,
+        now: float,
+        chosen: list[tuple[int, int, float]],
+        code: int,
+    ) -> None:
+        """Drain one user's delivery queue: debit columns, record tuples.
+
+        Replicates :meth:`repro.runtime.loop.RoundLoop._deliver`'s atomic
+        path: one shared batch energy, proportional per-item shares,
+        zero-floored budget debits, queue removal by delivered item.
+        """
+        if not chosen:
+            return
+        sizes = [self._level_sizes[level] for _, level, _ in chosen]
+        batch_energy = self._energy_model.batch_energy(
+            _CODE_STATES[code], sizes
+        )
+        total_size = sum(sizes)
+        state = self.state
+        data = state.data_available
+        energy = state.energy_available
+        out = self._deliveries[u]
+        delivered: set[int] = set()
+        for (index, level, utility), size in zip(chosen, sizes):
+            share = batch_energy * (size / total_size) if total_size else 0.0
+            data[u] = max(0.0, data[u] - size)
+            energy[u] = max(0.0, energy[u] - share)
+            out.append((now, index, level, size, share, utility))
+            delivered.add(index)
+        state.queues[u] = [
+            i for i in state.queues[u] if i not in delivered
+        ]
+        self._counts[u] = len(state.queues[u])

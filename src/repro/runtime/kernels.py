@@ -42,7 +42,11 @@ __all__ = [
     "greedy_select",
     "greedy_select_hull",
     "hull_levels",
+    "ingest_round_index",
     "lyapunov_adjusted_matrix",
+    "lyapunov_adjusted_rows",
+    "replenish_data_column",
+    "replenish_energy_column",
 ]
 
 
@@ -164,6 +168,91 @@ def lyapunov_adjusted_matrix(
     adjusted = queue_column[:, None] + energy_terms + v * utility_matrix
     adjusted[:, 0] = 0.0
     return adjusted
+
+
+def lyapunov_adjusted_rows(
+    utilities: np.ndarray,
+    energies_row: Sequence[float] | np.ndarray,
+    item_backlog_bytes: float,
+    q_bytes_column: Sequence[float] | np.ndarray,
+    p_joules_column: Sequence[float] | np.ndarray,
+    *,
+    kappa_joules: float,
+    v: float,
+    size_scale: float,
+    energy_scale: float,
+) -> np.ndarray:
+    """Eq. 7 across a whole *cohort*: many users' queues in one matrix.
+
+    The multi-user twin of :func:`lyapunov_adjusted_matrix`.  Row ``i``
+    is one queued item of some user; ``q_bytes_column[i]`` /
+    ``p_joules_column[i]`` carry that user's round-frozen ``Q(t)`` /
+    ``P(t)`` (broadcast per item by the caller).  ``energies_row`` is the
+    shared per-level energy estimate of the round's network state and
+    ``item_backlog_bytes`` the shared per-item backlog contribution
+    ``s(i)`` (one presentation ladder across the cohort).
+
+    Every float operation pairs the same operands in the same order as
+    the single-user kernel -- ``(Q*ss)*(s_i*ss) + ((P-kappa)*es)*(rho*es)
+    + V*U`` -- so slicing one user's rows out of the result is
+    bit-identical to calling :func:`lyapunov_adjusted_matrix` for that
+    user alone.
+    """
+    utility_matrix = np.asarray(utilities, dtype=np.float64)
+    energies = np.asarray(energies_row, dtype=np.float64)
+    q_column = np.asarray(q_bytes_column, dtype=np.float64)
+    p_column = np.asarray(p_joules_column, dtype=np.float64)
+    queue_column = (q_column * size_scale) * (item_backlog_bytes * size_scale)
+    energy_terms = ((p_column - kappa_joules) * energy_scale)[:, None] * (
+        energies * energy_scale
+    )[None, :]
+    adjusted = queue_column[:, None] + energy_terms + v * utility_matrix
+    adjusted[:, 0] = 0.0
+    return adjusted
+
+
+def replenish_data_column(available_bytes: np.ndarray, theta_bytes: float) -> None:
+    """Algorithm 2, step 2 for every user at once: ``B(t) += theta``.
+
+    In-place over the cohort's byte-budget column; one float add per
+    user, identical to :meth:`repro.core.budgets.DataBudget.replenish`
+    (no rollover cap -- the paper's unbounded rollover).
+    """
+    available_bytes += theta_bytes
+
+
+def replenish_energy_column(
+    available_joules: np.ndarray,
+    e_t_column: np.ndarray,
+    kappa_joules: float,
+) -> None:
+    """Masked energy replenishment: ``P(t) += e(t)`` while ``P(t) <= kappa``.
+
+    In-place over the cohort's energy column.  The mask reproduces the
+    per-user conditional of
+    :meth:`repro.core.budgets.EnergyBudget.replenish` exactly: users
+    already above ``kappa`` accept nothing this round.
+    """
+    mask = available_joules <= kappa_joules
+    available_joules[mask] += e_t_column[mask]
+
+
+def ingest_round_index(
+    created_at: Sequence[float] | np.ndarray,
+    round_times: Sequence[float] | np.ndarray,
+) -> np.ndarray:
+    """The round at which each item becomes schedulable, for a whole cohort.
+
+    In the event-driven path an item's ``enqueue`` fires before the round
+    tick sharing its timestamp (FIFO tie-break on the simulator heap), so
+    an item joins the scheduling queue at the first round whose time is
+    ``>= created_at``.  Returns that round index per item;
+    ``len(round_times)`` marks items created after the last round (they
+    stay in the incoming queue forever, exactly like the scalar path).
+    """
+    times = np.asarray(round_times, dtype=np.float64)
+    created = np.asarray(created_at, dtype=np.float64)
+    return np.searchsorted(times, created, side="left")
 
 
 def gradient(

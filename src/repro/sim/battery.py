@@ -111,6 +111,72 @@ class DiurnalBatteryModel:
             return self.night_start_hour <= hour < self.night_end_hour
         return hour >= self.night_start_hour or hour < self.night_end_hour
 
+    def replenishment_column(
+        self,
+        n_rounds: int,
+        round_seconds: float,
+        duration_seconds: float,
+        kappa_joules: float,
+        initial_level: float = 1.0,
+    ) -> list[float]:
+        """``e(t)`` for every round of a fresh trace, in one pass.
+
+        Bit-identical to ``generate(duration_seconds + round_seconds,
+        sample_period_seconds=round_seconds)`` followed by
+        :meth:`BatteryTrace.sample_replenishment` on sample ``k + 1`` for
+        round ``k`` (clamped to the last sample) -- the exact lookup the
+        round grid induces, see
+        :func:`repro.runtime.columnar.build_device_columns`.  The fast
+        path exists because materializing a :class:`BatteryTrace` per
+        user dominates cohort setup at population scale: this method
+        runs the same recurrence with the same RNG draw order and the
+        same float arithmetic, but keeps plain scalars throughout.
+        """
+        if n_rounds < 0:
+            raise ValueError("n_rounds must be >= 0")
+        if round_seconds <= 0:
+            raise ValueError("sample period must be positive")
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 <= initial_level <= 1.0:
+            raise ValueError("initial level must be in [0, 1]")
+        if kappa_joules < 0:
+            raise ValueError("kappa must be >= 0")
+
+        scale = 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        drain = self.drain_per_hour * scale
+        phase = self.rng.uniform(-1.0, 1.0) * self.jitter * 2.0  # hours
+        rng_random = self.rng.random
+        charge_per_hour = self.charge_per_hour
+        is_night = self._is_night
+        duration = duration_seconds + round_seconds
+        hours = round_seconds / 3600.0
+
+        refills: list[float] = []
+        level = initial_level
+        t = 0.0
+        while t <= duration:
+            hour = ((t / 3600.0) + phase) % 24.0
+            charging = is_night(hour) or (
+                level < 0.15 and rng_random() < 0.5
+            )
+            if charging:
+                refills.append(kappa_joules)
+            elif level < 0.05:
+                refills.append(0.0)
+            else:
+                refills.append(kappa_joules * max(0.2, level))
+            if charging:
+                level = min(1.0, level + charge_per_hour * hours)
+            else:
+                activity = 0.5 + 0.5 * math.sin(math.pi * (hour - 7.0) / 12.0)
+                level = max(0.0, level - drain * hours * max(0.2, activity))
+            t += round_seconds
+        last = len(refills) - 1
+        return [
+            refills[k + 1 if k + 1 <= last else last] for k in range(n_rounds)
+        ]
+
 
 class BatteryTrace:
     """A timestamped battery trace with interpolation-free lookups.
@@ -174,9 +240,20 @@ class BatteryTrace:
         * below 5% charge: zero -- the user's device is about to die and no
           discretionary downloads should be charged against it.
         """
+        return self.sample_replenishment(self._locate(time), kappa_joules)
+
+    @staticmethod
+    def sample_replenishment(
+        sample: BatterySample, kappa_joules: float
+    ) -> float:
+        """The :meth:`replenishment` rule for an already-located sample.
+
+        Exposed so batch evaluators (the columnar device columns) that
+        know which sample each round reads can skip the per-call bisect
+        while computing the exact same refill.
+        """
         if kappa_joules < 0:
             raise ValueError("kappa must be >= 0")
-        sample = self._locate(time)
         if sample.charging:
             return kappa_joules
         if sample.level < 0.05:

@@ -1,23 +1,63 @@
-"""Trace serialization: JSONL read/write with round-trip fidelity.
+"""Trace serialization: JSONL read/write plus a packed columnar shard store.
 
-Traces are stored one record per line so multi-gigabyte traces can be
-streamed without loading everything into memory.  The format is stable and
-versioned through a header line, letting downstream tooling reject
-incompatible files early.  Paths ending in ``.gz`` are transparently
-gzip-compressed (notification traces compress ~10x).
+Two on-disk shapes, for two access patterns:
+
+* **JSONL** (:func:`write_trace` / :func:`iter_trace` /
+  :func:`read_trace`) -- one record per line behind a versioned header;
+  human-greppable, streamable, the interchange format.  Paths ending in
+  ``.gz`` are transparently gzip-compressed (notification traces
+  compress ~10x).
+* **Columnar shard store** (:class:`ShardStoreWriter` /
+  :class:`TraceShardStore`) -- a directory of flat little-endian binary
+  columns partitioned by user (``user_ids.npy`` + ``offsets.npy`` index,
+  ``index.json`` manifest).  Written once in a streaming append pass,
+  then memory-mapped read-only, so a population-scale trace costs each
+  experiment worker address space instead of heap and deserialization
+  time.  This is the format the experiment pool ships to workers: a
+  path, not pickled record lists.
 """
 
 from __future__ import annotations
 
-import gzip
 import json
+import gzip
+import math
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from repro.pubsub.topics import TopicKind
 from repro.trace.records import NotificationRecord
 
 FORMAT_NAME = "richnote-trace"
 FORMAT_VERSION = 1
+
+SHARD_FORMAT_NAME = "richnote-trace-shards"
+SHARD_FORMAT_VERSION = 1
+
+#: Column layout of the shard store.  ``recipient_id`` is implied by the
+#: user partitioning (``user_ids`` + ``offsets``) and not stored per
+#: record; ``click_time`` stores ``NaN`` for ``None``; ``kind`` stores an
+#: index into the manifest's ``kinds`` list.
+SHARD_COLUMNS: dict[str, str] = {
+    "notification_id": "<i8",
+    "sender_id": "<i8",
+    "kind": "|i1",
+    "track_id": "<i8",
+    "album_id": "<i8",
+    "artist_id": "<i8",
+    "track_popularity": "<i4",
+    "album_popularity": "<i4",
+    "artist_popularity": "<i4",
+    "tie_strength": "<f8",
+    "is_friend": "|u1",
+    "favorite_genre": "|u1",
+    "timestamp": "<f8",
+    "hovered": "|u1",
+    "clicked": "|u1",
+    "click_time": "<f8",
+}
 
 
 def _open(path: Path, mode: str):
@@ -68,5 +108,257 @@ def iter_trace(path: str | Path) -> Iterator[NotificationRecord]:
 
 
 def read_trace(path: str | Path) -> list[NotificationRecord]:
-    """Load an entire trace into memory."""
+    """Load an entire trace into memory.
+
+    Convenience for small traces only: this materializes every record at
+    once.  Callers that merely iterate -- computing statistics,
+    re-sharding, filtering -- should stream with :func:`iter_trace`
+    instead, which holds one record at a time; population-scale cohorts
+    should use the columnar shard store (:class:`ShardStoreWriter` /
+    :class:`TraceShardStore`) and never round-trip through record lists
+    at all.
+    """
     return list(iter_trace(path))
+
+
+# -- columnar shard store ------------------------------------------------------
+
+
+class ShardStoreWriter:
+    """Streaming writer for the columnar shard store.
+
+    Appends one user's records at a time to flat binary column files --
+    no buffering of the whole trace, no need to know counts up front --
+    then seals the directory with the index arrays and manifest on
+    :meth:`close`.  Use as a context manager:
+
+    >>> with ShardStoreWriter(tmp_path / "shards") as writer:  # doctest: +SKIP
+    ...     for user_id, records in iter_users(10_000):
+    ...         writer.append(user_id, records)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._kinds = [kind.value for kind in TopicKind]
+        self._kind_codes = {value: i for i, value in enumerate(self._kinds)}
+        self._handles = {
+            name: (self.path / f"{name}.bin").open("wb")
+            for name in SHARD_COLUMNS
+        }
+        self._user_ids: list[int] = []
+        self._offsets: list[int] = [0]
+        self._closed = False
+
+    def append(
+        self, user_id: int, records: Sequence[NotificationRecord]
+    ) -> None:
+        """Append one user's partition (records in their replay order)."""
+        if self._closed:
+            raise ValueError("shard store writer is closed")
+        columns: dict[str, list] = {name: [] for name in SHARD_COLUMNS}
+        for r in records:
+            columns["notification_id"].append(r.notification_id)
+            columns["sender_id"].append(r.sender_id)
+            columns["kind"].append(self._kind_codes[r.kind.value])
+            columns["track_id"].append(r.track_id)
+            columns["album_id"].append(r.album_id)
+            columns["artist_id"].append(r.artist_id)
+            columns["track_popularity"].append(r.track_popularity)
+            columns["album_popularity"].append(r.album_popularity)
+            columns["artist_popularity"].append(r.artist_popularity)
+            columns["tie_strength"].append(r.tie_strength)
+            columns["is_friend"].append(r.is_friend)
+            columns["favorite_genre"].append(r.favorite_genre)
+            columns["timestamp"].append(r.timestamp)
+            columns["hovered"].append(r.hovered)
+            columns["clicked"].append(r.clicked)
+            columns["click_time"].append(
+                math.nan if r.click_time is None else r.click_time
+            )
+        for name, dtype in SHARD_COLUMNS.items():
+            np.asarray(columns[name], dtype=np.dtype(dtype)).tofile(
+                self._handles[name]
+            )
+        self._user_ids.append(user_id)
+        self._offsets.append(self._offsets[-1] + len(records))
+
+    def close(self) -> None:
+        """Seal the store: flush columns, write index arrays + manifest."""
+        if self._closed:
+            return
+        for handle in self._handles.values():
+            handle.close()
+        np.save(
+            self.path / "user_ids.npy",
+            np.asarray(self._user_ids, dtype=np.int64),
+        )
+        np.save(
+            self.path / "offsets.npy",
+            np.asarray(self._offsets, dtype=np.int64),
+        )
+        manifest = {
+            "format": SHARD_FORMAT_NAME,
+            "version": SHARD_FORMAT_VERSION,
+            "n_users": len(self._user_ids),
+            "n_records": self._offsets[-1],
+            "columns": dict(SHARD_COLUMNS),
+            "kinds": self._kinds,
+        }
+        (self.path / "index.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self._closed = True
+
+    def __enter__(self) -> "ShardStoreWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_shard_store(
+    path: str | Path,
+    user_records: Iterable[tuple[int, Sequence[NotificationRecord]]],
+) -> int:
+    """Write ``(user_id, records)`` pairs to a shard store; returns records."""
+    with ShardStoreWriter(path) as writer:
+        for user_id, records in user_records:
+            writer.append(user_id, records)
+        total = writer._offsets[-1]
+    return total
+
+
+class TraceShardStore:
+    """Zero-copy reader over a shard store directory.
+
+    Columns are ``np.memmap``-ed read-only: opening costs a few stat
+    calls regardless of trace size, slicing costs page faults only for
+    the pages actually touched, and forked/spawned workers opening the
+    same store share the page cache instead of each holding a heap copy.
+    The maps hold the file descriptors until :meth:`close` (or garbage
+    collection) releases them -- close explicitly before deleting the
+    directory on Windows-like platforms.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / "index.json"
+        if not manifest_path.exists():
+            raise ValueError(f"{self.path}: not a shard store (no index.json)")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != SHARD_FORMAT_NAME:
+            raise ValueError(f"{self.path}: not a {SHARD_FORMAT_NAME} store")
+        if manifest.get("version") != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported version {manifest.get('version')} "
+                f"(expected {SHARD_FORMAT_VERSION})"
+            )
+        self.manifest = manifest
+        self._kinds = [TopicKind(value) for value in manifest["kinds"]]
+        self.user_ids = np.load(self.path / "user_ids.npy")
+        self.offsets = np.load(self.path / "offsets.npy")
+        n_records = int(self.offsets[-1])
+        self._maps: dict[str, np.memmap | np.ndarray] = {}
+        for name, dtype_str in manifest["columns"].items():
+            dtype = np.dtype(dtype_str)
+            column_path = self.path / f"{name}.bin"
+            expected = n_records * dtype.itemsize
+            actual = column_path.stat().st_size
+            if actual != expected:
+                raise ValueError(
+                    f"{column_path}: {actual} bytes, index implies {expected}"
+                )
+            if n_records == 0:
+                self._maps[name] = np.empty(0, dtype=dtype)
+            else:
+                self._maps[name] = np.memmap(column_path, dtype=dtype, mode="r")
+        self._position_of: dict[int, int] | None = None
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_records(self) -> int:
+        return int(self.offsets[-1])
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw memory-mapped column (length ``n_records``)."""
+        return self._maps[name]
+
+    def position_of(self, user_id: int) -> int:
+        """Partition position of a user id (built lazily, O(1) after)."""
+        if self._position_of is None:
+            self._position_of = {
+                int(uid): i for i, uid in enumerate(self.user_ids)
+            }
+        return self._position_of[user_id]
+
+    def records_at(self, position: int) -> list[NotificationRecord]:
+        """Materialize one partition's records (the only copying step)."""
+        start = int(self.offsets[position])
+        end = int(self.offsets[position + 1])
+        user_id = int(self.user_ids[position])
+        data = {
+            name: self._maps[name][start:end].tolist() for name in SHARD_COLUMNS
+        }
+        kinds = self._kinds
+        return [
+            NotificationRecord(
+                notification_id=notification_id,
+                recipient_id=user_id,
+                sender_id=sender_id,
+                kind=kinds[kind],
+                track_id=track_id,
+                album_id=album_id,
+                artist_id=artist_id,
+                track_popularity=track_popularity,
+                album_popularity=album_popularity,
+                artist_popularity=artist_popularity,
+                tie_strength=tie_strength,
+                is_friend=bool(is_friend),
+                favorite_genre=bool(favorite_genre),
+                timestamp=timestamp,
+                hovered=bool(hovered),
+                clicked=bool(clicked),
+                click_time=None if math.isnan(click_time) else click_time,
+            )
+            for (
+                notification_id,
+                sender_id,
+                kind,
+                track_id,
+                album_id,
+                artist_id,
+                track_popularity,
+                album_popularity,
+                artist_popularity,
+                tie_strength,
+                is_friend,
+                favorite_genre,
+                timestamp,
+                hovered,
+                clicked,
+                click_time,
+            ) in zip(*(data[name] for name in SHARD_COLUMNS))
+        ]
+
+    def records_for_user(self, user_id: int) -> list[NotificationRecord]:
+        return self.records_at(self.position_of(user_id))
+
+    def iter_users(self) -> Iterator[tuple[int, list[NotificationRecord]]]:
+        """Stream ``(user_id, records)`` partitions in store order."""
+        for position in range(self.n_users):
+            yield int(self.user_ids[position]), self.records_at(position)
+
+    def close(self) -> None:
+        """Drop the memmaps (releases the column file descriptors)."""
+        self._maps.clear()
+
+    def __enter__(self) -> "TraceShardStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

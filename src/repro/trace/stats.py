@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.pubsub.topics import TopicKind
 from repro.trace.records import NotificationRecord
@@ -76,18 +76,23 @@ class WorkloadStats:
         return max(range(len(self.hourly_volume)), key=self.hourly_volume.__getitem__)
 
 
-def compute_stats(records: Sequence[NotificationRecord]) -> WorkloadStats:
-    """Summarize a record list (raises on empty input)."""
-    if not records:
-        raise ValueError("cannot summarize an empty trace")
+def compute_stats(records: Iterable[NotificationRecord]) -> WorkloadStats:
+    """Summarize records in one pass (raises on empty input).
+
+    Accepts any iterable -- including :func:`repro.trace.io.iter_trace`
+    -- and folds it in a single sweep, so arbitrarily large traces never
+    need to be materialized just to be summarized.
+    """
     per_kind = {kind: 0 for kind in TopicKind}
     per_user: dict[int, int] = {}
     hourly = [0] * 24
+    total = 0
     attended = 0
     clicked = 0
     delays: list[float] = []
     last_timestamp = 0.0
     for record in records:
+        total += 1
         per_kind[record.kind] += 1
         per_user[record.recipient_id] = per_user.get(record.recipient_id, 0) + 1
         hourly[int(record.hour_of_day()) % 24] += 1
@@ -98,7 +103,8 @@ def compute_stats(records: Sequence[NotificationRecord]) -> WorkloadStats:
             if record.click_time is not None:
                 delays.append(record.click_time - record.timestamp)
         last_timestamp = max(last_timestamp, record.timestamp)
-    total = len(records)
+    if not total:
+        raise ValueError("cannot summarize an empty trace")
     return WorkloadStats(
         total_records=total,
         users=len(per_user),

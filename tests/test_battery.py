@@ -115,3 +115,66 @@ class TestDiurnalModel:
             DiurnalBatteryModel().generate(-1.0)
         with pytest.raises(ValueError):
             DiurnalBatteryModel().generate(100.0, sample_period_seconds=0.0)
+
+
+class TestReplenishmentColumn:
+    """The columnar fast path replays generate() bit for bit."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 97])
+    @pytest.mark.parametrize(
+        "round_seconds,duration",
+        [
+            (3600.0, 168 * 3600.0),  # the paper's weekly grid
+            (600.0, DAY),            # sub-hourly rounds
+            (3600.0, 1800.0),        # duration shorter than one round
+        ],
+    )
+    def test_matches_materialized_trace_exactly(
+        self, seed, round_seconds, duration
+    ):
+        kappa = 30.0
+        # Ask for more rounds than the trace holds so the past-the-end
+        # clamp (last sample repeats) is exercised too.
+        n_rounds = int(duration // round_seconds) + 5
+        reference = DiurnalBatteryModel(rng=random.Random(seed)).generate(
+            duration + round_seconds, sample_period_seconds=round_seconds
+        )
+        samples = list(reference)
+        last = len(samples) - 1
+        expected = [
+            reference.sample_replenishment(
+                samples[k + 1 if k + 1 <= last else last], kappa
+            )
+            for k in range(n_rounds)
+        ]
+        column = DiurnalBatteryModel(
+            rng=random.Random(seed)
+        ).replenishment_column(n_rounds, round_seconds, duration, kappa)
+        assert column == expected  # exact: same floats, not approx
+
+    def test_consumes_the_same_rng_draws(self):
+        """Interleaving-sensitive: the fast path must leave the RNG in the
+        identical state the materializing path does."""
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        DiurnalBatteryModel(rng=rng_a).generate(
+            DAY + 3600.0, sample_period_seconds=3600.0
+        )
+        DiurnalBatteryModel(rng=rng_b).replenishment_column(
+            24, 3600.0, DAY, 30.0
+        )
+        assert rng_a.random() == rng_b.random()
+
+    def test_validation(self):
+        model = DiurnalBatteryModel(rng=random.Random(1))
+        with pytest.raises(ValueError):
+            model.replenishment_column(-1, 3600.0, DAY, 30.0)
+        with pytest.raises(ValueError):
+            model.replenishment_column(10, 0.0, DAY, 30.0)
+        with pytest.raises(ValueError):
+            model.replenishment_column(10, 3600.0, -1.0, 30.0)
+        with pytest.raises(ValueError):
+            model.replenishment_column(10, 3600.0, DAY, -1.0)
+        with pytest.raises(ValueError):
+            model.replenishment_column(
+                10, 3600.0, DAY, 30.0, initial_level=1.5
+            )

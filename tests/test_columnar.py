@@ -1,0 +1,412 @@
+"""The columnar simulation core: parity, shards, streaming, edges.
+
+The contract under test is ISSUE 8's: struct-of-arrays execution must be
+*bit-identical* to the scalar per-user object loop -- identical delivery
+digests, identical metrics, identical queue statistics -- across seeds,
+policies, network modes and budget regimes, including the awkward
+populations (empty queues, budget-exhausted users, ragged queue
+lengths).  The scalar path is the oracle throughout; nothing here
+re-derives expected values by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.presentations import build_audio_ladder
+from repro.core.utility import CombinedUtilityModel
+from repro.experiments.columnar import (
+    build_cohort,
+    run_cohort,
+    run_experiment_columnar,
+    run_users_columnar,
+    supports,
+)
+from repro.experiments.config import (
+    ExperimentConfig,
+    Method,
+    MethodSpec,
+    NetworkMode,
+)
+from repro.experiments.runner import (
+    UtilityAnnotations,
+    run_experiment,
+    run_user,
+)
+from repro.experiments.workloads import workload_spec
+from repro.runtime import registry
+from repro.runtime.columnar import (
+    ColumnarCohort,
+    ColumnarEngine,
+    build_device_columns,
+    needs_item_objects,
+    round_times,
+)
+from repro.runtime.policy import FifoPolicy, RichNotePolicy, UtilPolicy
+from repro.sim.engine import Simulator
+from repro.trace.generator import TraceConfig, build_workload, iter_users
+from repro.trace.io import TraceShardStore, write_shard_store
+
+SPECS = (
+    MethodSpec(Method.RICHNOTE),
+    MethodSpec(Method.FIFO, 2),
+    MethodSpec(Method.UTIL, 3),
+)
+SEEDS = (5, 7, 11)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def world(request):
+    """One seeded small workload: (pairs, annotations, duration, seed)."""
+    seed = request.param
+    workload = build_workload(workload_spec("small", seed=seed))
+    annotations = UtilityAnnotations.train(workload, seed=seed)
+    users = workload.top_users(5)
+    by_user = {user_id: [] for user_id in users}
+    for record in workload.records:
+        if record.recipient_id in by_user:
+            by_user[record.recipient_id].append(record)
+    pairs = [(u, by_user[u]) for u in users if by_user[u]]
+    duration = workload.config.duration_hours * 3600.0
+    return workload, pairs, annotations, duration, seed
+
+
+class TestScalarParity:
+    """Columnar == scalar, digest for digest, across the property grid."""
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.label)
+    @pytest.mark.parametrize("budget_mb", [0.05, 5.0])
+    @pytest.mark.parametrize(
+        "mode", [NetworkMode.CELL_ONLY, NetworkMode.MARKOV]
+    )
+    def test_digests_and_metrics_bit_identical(
+        self, world, spec, budget_mb, mode
+    ):
+        """Every user's deliveries and metrics match the per-user loop.
+
+        ``budget_mb=0.05`` keeps queues perpetually backlogged (ragged
+        lengths, budget-exhausted rounds); MARKOV adds OFF rounds where
+        whole users sit out selection with items still queued.
+        """
+        _, pairs, annotations, duration, seed = world
+        config = ExperimentConfig(
+            weekly_budget_mb=budget_mb, seed=seed, network_mode=mode
+        )
+        outcomes = run_users_columnar(
+            pairs, spec, config, annotations, duration,
+            digest_deliveries=True,
+        )
+        assert len(outcomes) == len(pairs)
+        for (user_id, records), outcome in zip(pairs, outcomes):
+            twin = run_user(
+                user_id, records, spec, config, annotations, duration,
+                digest_deliveries=True,
+            )
+            assert outcome.delivery_digest == twin.delivery_digest, user_id
+            assert outcome.metrics == twin.metrics, user_id
+            assert outcome.mean_backlog_bytes == twin.mean_backlog_bytes
+            assert outcome.max_queue_length == twin.max_queue_length
+            assert outcome.final_queue_length == twin.final_queue_length
+
+    def test_run_experiment_columnar_matches_scalar_aggregate(self, world):
+        workload, _, annotations, _, seed = world
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=seed)
+        users = workload.top_users(5)
+        spec = MethodSpec(Method.RICHNOTE)
+        scalar = run_experiment(workload, spec, config, annotations, users)
+        columnar = run_experiment_columnar(
+            workload, spec, config, annotations, users
+        )
+        assert columnar.aggregate.row() == scalar.aggregate.row()
+        assert columnar.aggregate == scalar.aggregate
+
+
+class TestCompatPath:
+    """Generic policies run through the RoundContext adapter, unchanged."""
+
+    def _engines(self, world, materialize):
+        _, pairs, annotations, duration, seed = world
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=seed)
+        ladder = build_audio_ladder(config.presentation_spec)
+        columns = build_cohort(
+            pairs, annotations, ladder, materialize_items=materialize
+        )
+        return columns, config, duration
+
+    def _run(self, columns, config, duration, policy, model):
+        from repro.experiments.runner import _device_stream_seed
+
+        times = round_times(config.round_seconds, duration)
+        device = build_device_columns(
+            [_device_stream_seed(config.seed, u) for u in columns.user_ids],
+            times,
+            config.round_seconds,
+            duration,
+            config.kappa_joules_per_round,
+        )
+        engine = ColumnarEngine(
+            columns.cohort,
+            device,
+            policy,
+            model,
+            theta_bytes=config.theta_bytes_per_round,
+            kappa_joules=config.kappa_joules_per_round,
+            round_seconds=config.round_seconds,
+            duration_seconds=duration,
+            expected_batch=config.expected_batch,
+        )
+        return engine.run()
+
+    @pytest.mark.parametrize("name", ["richnote", "fifo", "util"])
+    def test_adapter_path_equals_kernel_path(self, world, name):
+        """A no-op CombinedUtilityModel subclass forces the adapter path;
+
+        its deliveries must be bit-identical to the kernel fast path for
+        the same policy -- the adapter is a second implementation of the
+        same round, and this pins them together.
+        """
+
+        class SameModel(CombinedUtilityModel):
+            pass
+
+        params = {} if name == "richnote" else {"fixed_level": 2}
+        columns, config, duration = self._engines(world, materialize=True)
+        fast = self._run(
+            columns, config, duration,
+            registry.create(name, **params), CombinedUtilityModel(),
+        )
+        compat = self._run(
+            columns, config, duration,
+            registry.create(name, **params), SameModel(),
+        )
+        assert fast.deliveries == compat.deliveries
+        assert np.array_equal(
+            fast.mean_backlog_bytes, compat.mean_backlog_bytes
+        )
+
+    def test_adapter_without_items_rejected(self, world):
+        class SameModel(CombinedUtilityModel):
+            pass
+
+        columns, config, duration = self._engines(world, materialize=False)
+        with pytest.raises(ValueError, match="cohort.items"):
+            self._run(
+                columns, config, duration,
+                registry.create("fifo", fixed_level=2), SameModel(),
+            )
+
+    def test_needs_item_objects_dispatch(self):
+        class SameModel(CombinedUtilityModel):
+            pass
+
+        class SubFifo(FifoPolicy):
+            pass
+
+        stock = CombinedUtilityModel()
+        assert not needs_item_objects(RichNotePolicy(), stock)
+        assert not needs_item_objects(FifoPolicy(fixed_level=2), stock)
+        assert not needs_item_objects(UtilPolicy(fixed_level=2), stock)
+        assert needs_item_objects(SubFifo(fixed_level=2), stock)
+        assert needs_item_objects(FifoPolicy(fixed_level=2), SameModel())
+
+
+class TestRoundGrid:
+    """round_times replicates the event-driven simulator's tick sequence."""
+
+    @pytest.mark.parametrize(
+        "period,duration",
+        [(3600.0, 168 * 3600.0), (3600.0, 1800.0), (0.1, 10.0), (7.0, 7.0)],
+    )
+    def test_matches_simulator_schedule(self, period, duration):
+        simulator = Simulator()
+        ticks: list[float] = []
+        simulator.schedule_periodic(
+            start=period,
+            period=period,
+            callback=lambda sim: ticks.append(sim.now),
+            until=duration + 1.0,
+        )
+        simulator.run(until=duration + 2.0)
+        assert round_times(period, duration) == ticks
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError, match="period"):
+            round_times(0.0, 100.0)
+
+
+class TestEngineEdges:
+    def test_resumable_single_stepping(self, world):
+        _, pairs, annotations, duration, seed = world
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=seed)
+        spec = MethodSpec(Method.RICHNOTE)
+        ladder = build_audio_ladder(config.presentation_spec)
+        columns = build_cohort(pairs, annotations, ladder)
+
+        from repro.experiments.runner import _device_stream_seed
+
+        times = round_times(config.round_seconds, duration)
+
+        def make_engine():
+            device = build_device_columns(
+                [
+                    _device_stream_seed(config.seed, u)
+                    for u in columns.user_ids
+                ],
+                times, config.round_seconds, duration,
+                config.kappa_joules_per_round,
+            )
+            return ColumnarEngine(
+                columns.cohort, device,
+                registry.create(
+                    spec.policy_name, **spec.policy_params(config)
+                ),
+                theta_bytes=config.theta_bytes_per_round,
+                kappa_joules=config.kappa_joules_per_round,
+                round_seconds=config.round_seconds,
+                duration_seconds=duration,
+                expected_batch=config.expected_batch,
+            )
+
+        whole = make_engine().run()
+        assert whole.rounds == len(times)
+
+        stepper = make_engine()
+        first = stepper.run(limit_rounds=1)
+        assert first.rounds == 1
+        stepped = stepper.run()  # the rest
+        assert stepped.rounds == len(times)
+        assert stepped.deliveries == whole.deliveries
+        assert np.array_equal(
+            stepped.mean_backlog_bytes, whole.mean_backlog_bytes
+        )
+        assert np.array_equal(stepped.max_queue_length, whole.max_queue_length)
+
+        with pytest.raises(ValueError, match="limit_rounds"):
+            make_engine().run(limit_rounds=-1)
+
+    def test_unsupported_config_falls_back_and_run_cohort_rejects(
+        self, world
+    ):
+        from repro.sim.faults import FaultConfig
+
+        workload, pairs, annotations, duration, seed = world
+        config = ExperimentConfig(
+            weekly_budget_mb=5.0, seed=seed,
+            faults=FaultConfig(p_disconnect=0.2),
+        )
+        assert not supports(config)
+        ladder = build_audio_ladder(config.presentation_spec)
+        columns = build_cohort(pairs, annotations, ladder)
+        with pytest.raises(ValueError, match="paper-default"):
+            run_cohort(columns, MethodSpec(Method.RICHNOTE), config, duration)
+        users = [u for u, _ in pairs]
+        scalar = run_experiment(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        fallback = run_experiment_columnar(
+            workload, MethodSpec(Method.RICHNOTE), config, annotations, users
+        )
+        assert fallback.aggregate == scalar.aggregate
+
+    def test_cohort_validation(self):
+        ladder = build_audio_ladder()
+        with pytest.raises(ValueError, match="offsets"):
+            ColumnarCohort(
+                user_ids=[1, 2],
+                offsets=np.asarray([0, 1]),  # length must be n_users + 1
+                item_ids=[10],
+                created_at=np.asarray([0.0]),
+                contents=np.asarray([0.5]),
+                ladder=ladder,
+            )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ColumnarCohort(
+                user_ids=[1],
+                offsets=np.asarray([0, -1]),
+                item_ids=[],
+                created_at=np.asarray([]),
+                contents=np.asarray([]),
+                ladder=ladder,
+            )
+        with pytest.raises(ValueError, match="entries"):
+            ColumnarCohort(
+                user_ids=[1],
+                offsets=np.asarray([0, 2]),
+                item_ids=[10],
+                created_at=np.asarray([0.0]),
+                contents=np.asarray([0.5]),
+                ladder=ladder,
+            )
+
+
+class TestStreamedUsers:
+    """iter_users: per-user independent lanes, ragged volumes, bounded memory."""
+
+    def test_prefix_stable_across_population_sizes(self):
+        config = TraceConfig(seed=31)
+        ten = list(iter_users(10, config))
+        thousand_prefix = []
+        for user_id, records in iter_users(1000, config):
+            thousand_prefix.append((user_id, records))
+            if len(thousand_prefix) == 10:
+                break
+        assert [u for u, _ in ten] == [u for u, _ in thousand_prefix]
+        for (_, a), (_, b) in zip(ten, thousand_prefix):
+            assert a == b
+
+    def test_deterministic_and_ragged(self):
+        config = TraceConfig(seed=31)
+        first = {u: r for u, r in iter_users(40, config)}
+        second = {u: r for u, r in iter_users(40, config)}
+        assert first == second
+        lengths = {len(r) for r in first.values()}
+        assert len(lengths) > 3, "queue lengths should be ragged"
+        for records in first.values():
+            times = [r.timestamp for r in records]
+            assert times == sorted(times)
+
+    def test_streamed_cohort_runs_columnar(self):
+        config = TraceConfig(seed=31)
+        pairs = [(u, r) for u, r in iter_users(30, config) if r]
+        scores = {
+            r.notification_id: (0.9 if r.clicked else 0.1)
+            for _, rs in pairs for r in rs
+        }
+        annotations = UtilityAnnotations(scores=scores)
+        exp_config = ExperimentConfig(seed=31)
+        outcomes = run_users_columnar(
+            pairs, MethodSpec(Method.RICHNOTE), exp_config, annotations,
+            config.duration_hours * 3600.0, digest_deliveries=True,
+        )
+        assert len(outcomes) == len(pairs)
+        for (user_id, records), outcome in zip(pairs[:5], outcomes[:5]):
+            twin = run_user(
+                user_id, records, MethodSpec(Method.RICHNOTE), exp_config,
+                annotations, config.duration_hours * 3600.0,
+                digest_deliveries=True,
+            )
+            assert outcome.delivery_digest == twin.delivery_digest
+
+
+class TestShardStore:
+    """The packed columnar trace format round-trips records exactly."""
+
+    def test_roundtrip_exact(self, tmp_path):
+        config = TraceConfig(seed=13)
+        pairs = list(iter_users(12, config))
+        # A zero-record user in the middle: offsets must carry it through.
+        pairs.insert(2, (999, []))
+        count = write_shard_store(tmp_path / "store", pairs)
+        assert count == sum(len(r) for _, r in pairs)
+        with TraceShardStore(tmp_path / "store") as store:
+            assert store.n_users == len(pairs)
+            assert store.n_records == count
+            for user_id, records in pairs:
+                assert store.records_for_user(user_id) == records
+            streamed = list(store.iter_users())
+            assert streamed == [(u, r) for u, r in pairs]
+
+    def test_rejects_foreign_directory(self, tmp_path):
+        with pytest.raises((FileNotFoundError, ValueError)):
+            TraceShardStore(tmp_path / "nope")

@@ -86,6 +86,37 @@ class TestDeprecationWarnings:
         with pytest.warns(DeprecationWarning, match="registry.create"):
             getattr(baselines, name)(fixed_level=2, **make_kwargs())
 
+    def test_experiments_parallel_shim_warns_and_forwards(self, monkeypatch):
+        """``experiments.parallel`` is a shim over ``pool`` (ISSUE 8)."""
+        from repro.experiments import parallel
+
+        calls = []
+
+        def fake(workload, spec, config, **kwargs):
+            calls.append((workload, spec, config, kwargs))
+            return "forwarded"
+
+        monkeypatch.setattr(parallel, "_run_experiment_parallel", fake)
+        with pytest.warns(
+            DeprecationWarning, match="repro.experiments.pool"
+        ):
+            result = parallel.run_experiment_parallel(
+                "workload", "spec", "config", user_ids=[1, 2], max_workers=3
+            )
+        assert result == "forwarded"
+        assert calls == [
+            (
+                "workload",
+                "spec",
+                "config",
+                {
+                    "annotations": None,
+                    "user_ids": [1, 2],
+                    "max_workers": 3,
+                },
+            )
+        ]
+
     def test_extension_seams_do_not_warn(self):
         from repro.core.baselines import FixedLevelScheduler
         from repro.core.scheduler import RoundBasedScheduler

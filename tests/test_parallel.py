@@ -1,9 +1,9 @@
-"""Tests for the parallel per-user runner."""
+"""Tests for the one-shot parallel per-user runner (now in ``pool``)."""
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig, Method, MethodSpec
-from repro.experiments.parallel import run_experiment_parallel
+from repro.experiments.pool import run_experiment_parallel
 from repro.experiments.runner import UtilityAnnotations, run_experiment
 from repro.experiments.workloads import eval_workload
 

@@ -169,6 +169,43 @@ class TestPoolBoundary:
         assert pickle.loads(pickle.dumps(config)) == config
 
 
+class TestShardStorePool:
+    """Workers memory-map a columnar shard store instead of unpickling
+    records (ISSUE 8): same results, path-sized init payload."""
+
+    def test_mmap_pool_matches_sequential_exactly(
+        self, workload, annotations, users, tmp_path
+    ):
+        config = ExperimentConfig(weekly_budget_mb=5.0, seed=7)
+        spec = MethodSpec(Method.RICHNOTE)
+        store_dir = tmp_path / "shards"
+        telemetry = SweepTelemetry()
+        with ExperimentPool(
+            workload,
+            annotations=annotations,
+            user_ids=users,
+            max_workers=2,
+            telemetry=telemetry,
+            shard_store_dir=store_dir,
+        ) as mapped:
+            assert mapped.shard_store_dir == str(store_dir)
+            # The initializer ships a path, not pickled shards.
+            shards_arg = mapped._initargs[0]
+            assert shards_arg is None
+            result = mapped.run_cell(spec, config, digest_deliveries=True)
+        assert store_dir.is_dir() and any(store_dir.iterdir())
+        assert telemetry.meta["shard_store"] is True
+
+        sequential = run_experiment(workload, spec, config, annotations, users)
+        assert result.aggregate == sequential.aggregate
+        assert [o.metrics.user_id for o in result.per_user] == [
+            o.metrics.user_id for o in sequential.per_user
+        ]
+        for mine, twin in zip(result.per_user, sequential.per_user):
+            assert mine.metrics == twin.metrics
+            assert mine.max_queue_length == twin.max_queue_length
+
+
 class TestPoolRecovery:
     """A worker killed mid-batch must not kill the sweep (ISSUE: OOM-killed
     workers poisoning the executor)."""
@@ -294,7 +331,8 @@ class TestTelemetry:
             telemetry=telemetry,
         )
         payload = telemetry.write(tmp_path / "BENCH_sweep.json")
-        assert payload["schema"] == "richnote-bench-sweep/1"
+        assert payload["schema"] == "richnote-bench-sweep/2"
+        assert payload["totals"]["users"] == len(users)
         assert set(payload["stages_s"]) == {"train", "shard"}
         assert payload["meta"]["engine"] == "ExperimentPool"
         assert payload["meta"]["workers"] == 2

@@ -299,6 +299,22 @@ class TestOnRealTree:
         assert not report.parse_errors
         assert report.findings == []
 
+    def test_columnar_modules_pass_enforcing_families_unbaselined(self):
+        """ISSUE 8's new modules are clean under the enforcing R2,R4,R7
+        pass with no baseline escape hatch at all."""
+        new_modules = [
+            REPO_ROOT / "src/repro/runtime/columnar.py",
+            REPO_ROOT / "src/repro/experiments/columnar.py",
+            REPO_ROOT / "src/repro/experiments/scale.py",
+        ]
+        for path in new_modules:
+            assert path.exists(), path
+        report = analyze_paths(
+            new_modules, root=REPO_ROOT, select="R2,R4,R7"
+        )
+        assert not report.parse_errors
+        assert report.findings == []
+
     def test_module_entry_point_runs_clean(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro.analysis", "src/repro"],

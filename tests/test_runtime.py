@@ -452,3 +452,55 @@ class TestGoldenParity:
             assert (len(captured), digest.hexdigest()) == (
                 GOLDEN_DELIVERY_DIGESTS[spec.label]
             ), spec.label
+
+    def test_columnar_engine_reproduces_golden_digests(
+        self, golden_world, monkeypatch
+    ):
+        """The struct-of-arrays engine hits the same pinned digests.
+
+        This is the ISSUE 8 tentpole contract: the columnar cohort path
+        is a drop-in for the per-user object loop on the golden seeded
+        workloads -- not approximately, but digest-for-digest.
+        """
+        from repro.experiments import columnar
+
+        workload, config, annotations, users, specs = golden_world
+        by_user = {user_id: [] for user_id in users}
+        for record in workload.records:
+            if record.recipient_id in by_user:
+                by_user[record.recipient_id].append(record)
+        pairs = [(u, by_user[u]) for u in users if by_user[u]]
+        duration = workload.config.duration_hours * 3600.0
+
+        captured = []
+        original = columnar.compute_user_metrics
+
+        def spy(user_id, records, deliveries):
+            captured.extend(deliveries)
+            return original(user_id, records, deliveries)
+
+        monkeypatch.setattr(columnar, "compute_user_metrics", spy)
+
+        for spec in specs:
+            captured.clear()
+            columnar.run_users_columnar(
+                pairs, spec, config, annotations, duration
+            )
+            digest = hashlib.sha256()
+            for d in captured:
+                digest.update(
+                    repr(
+                        (
+                            d.time,
+                            d.user_id,
+                            d.item.item_id,
+                            d.level,
+                            d.size_bytes,
+                            d.energy_joules,
+                            d.utility,
+                        )
+                    ).encode()
+                )
+            assert (len(captured), digest.hexdigest()) == (
+                GOLDEN_DELIVERY_DIGESTS[spec.label]
+            ), spec.label
