@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos lint analyze analyze-sarif bench bench-sweep bench-scale bench-service artifacts examples clean
+.PHONY: install test chaos lint analyze analyze-sarif bench bench-sweep bench-scale bench-service bench-channels artifacts examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -77,6 +77,12 @@ bench-scale:
 # BENCH_service.json at the repo root.
 bench-service:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_service.py -q -rs -s
+
+# Multi-channel gates (nonzero cross-user degradation on the shared
+# cell, clean control cell, exact per-channel conservation,
+# deterministic payload); writes BENCH_channels.json at the repo root.
+bench-channels:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_channels.py -q -rs -s
 
 # Regenerate every figure artifact from a fresh synthetic trace.
 artifacts:

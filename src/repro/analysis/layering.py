@@ -17,6 +17,14 @@ The runtime refactor split scheduling into three one-way layers::
   ``repro.experiments`` or ``repro.cli``.  Orchestration sits *above*
   the runtime; when a lower layer needs behaviour chosen up top, the
   dependency is inverted through :mod:`repro.runtime.registry`.
+* no module under ``repro.core`` or ``repro.runtime`` may import
+  ``repro.service``.  The live service composes the runtime (ISSUE 9's
+  multi-channel refactor routes channels *through* the loop's
+  duck-typed hooks precisely so this arrow stays one-way).
+* the per-channel cost/latency tables in ``repro.core._channel_costs``
+  are private to :mod:`repro.core.channels`: every other module must go
+  through a :class:`~repro.core.channels.Channel` so a table edit can
+  never bypass the billed-bytes accounting.
 
 Relative imports are resolved against the module's own path before the
 check, so ``from . import loop`` inside the kernels file still trips.
@@ -32,6 +40,15 @@ from repro.analysis.engine import Finding, ModuleInfo, ProjectIndex, Rule
 #: Layers (as ``repro.``-stripped dotted prefixes) nothing in core/runtime
 #: may depend on.
 _ORCHESTRATION_PREFIXES = ("experiments", "cli")
+
+#: The live service also sits above core/runtime; flagged separately so
+#: the message can point at the loop's duck-typed hooks (the sanctioned
+#: way for the runtime to reach service-chosen behaviour).
+_SERVICE_PREFIX = ("service",)
+
+#: Private per-channel cost tables; only ``core/channels.py`` may read
+#: them.
+_CHANNEL_COST_PREFIX = ("core._channel_costs",)
 
 #: Additional prefixes banned from the kernel file only.
 _POLICY_PREFIXES = (
@@ -100,6 +117,7 @@ class LayeringRule(Rule):
         is_kernels = (
             module.parts[-1] == "kernels.py" and "runtime" in module.parts
         )
+        is_channels = module.parts[-2:] == ("core", "channels.py")
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
                 continue
@@ -116,6 +134,31 @@ class LayeringRule(Rule):
                         "through repro.runtime.registry instead",
                     )
                     continue
+                hit = _matches(dotted, _SERVICE_PREFIX)
+                if hit is not None and hit not in flagged:
+                    flagged.add(hit)
+                    yield self.finding(
+                        module,
+                        node,
+                        "layer violation: repro.service composes the "
+                        "runtime, never the reverse; expose the behaviour "
+                        "as a duck-typed hook on the loop (like "
+                        "shared_capacity) instead",
+                    )
+                    continue
+                if not is_channels:
+                    hit = _matches(dotted, _CHANNEL_COST_PREFIX)
+                    if hit is not None and hit not in flagged:
+                        flagged.add(hit)
+                        yield self.finding(
+                            module,
+                            node,
+                            "repro.core._channel_costs is private to "
+                            "core/channels.py; read per-channel pricing "
+                            "through a Channel so billed-bytes accounting "
+                            "cannot be bypassed",
+                        )
+                        continue
                 if not is_kernels:
                     continue
                 hit = _matches(dotted, _POLICY_PREFIXES)

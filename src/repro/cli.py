@@ -11,6 +11,7 @@ Subcommands::
     richnote survey
     richnote serve           --rounds 3 --chaos flash-crowd
     richnote bench-scale     --users 10000,100000 --out BENCH_scalability.json
+    richnote bench-channels  --rounds 40 --out BENCH_channels.json
     richnote lint            src/repro --warn-only
 
 ``generate-trace`` synthesizes a labelled Spotify-like notification trace
@@ -248,6 +249,45 @@ def cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_channels(args: argparse.Namespace) -> int:
+    """Flash-crowd shared-cell scenario: cross-user degradation report."""
+    from repro.experiments.channels_bench import (
+        ChannelsBenchConfig,
+        bench_channels,
+        write_channels_report,
+    )
+
+    config = ChannelsBenchConfig(
+        seed=args.seed,
+        rounds=args.rounds,
+        crowd_users=args.crowd_users,
+        bystanders_per_cell=args.bystanders,
+        pool_bytes_per_round=args.pool_bytes,
+    )
+    payload = bench_channels(config)
+    shared = payload["coupling"]["shared_bystanders"]
+    control = payload["coupling"]["control_bystanders"]
+    print(
+        f"shared-cell bystanders: utility "
+        f"{shared['uncoupled_utility']:.2f} -> {shared['coupled_utility']:.2f} "
+        f"({shared['drop_fraction']:.1%} drop from the crowd's pool drain); "
+        f"control cell: {control['drop_fraction']:.1%}"
+    )
+    for name, row in payload["coupled"]["per_channel"].items():
+        print(
+            f"  {name}: {row['delivered']} delivered, {row['shed']} shed, "
+            f"{row['dead_letters']} dead-lettered"
+        )
+    print(
+        "conservation error: "
+        f"{payload['coupled']['conservation_error_bytes']:g} B"
+    )
+    if args.out:
+        write_channels_report(args.out, payload)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_survey(args: argparse.Namespace) -> int:
     from repro.survey.fitting import select_best_fit
     from repro.survey.pareto import pareto_frontier
@@ -437,6 +477,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the BENCH_scalability.json payload here",
     )
     bench_scale.set_defaults(handler=cmd_bench_scale)
+
+    bench_channels = commands.add_parser(
+        "bench-channels",
+        help="multi-channel flash-crowd bench: shared cell pools "
+             "coupling users",
+    )
+    bench_channels.add_argument("--seed", type=int, default=17)
+    bench_channels.add_argument(
+        "--rounds", type=int, default=40, help="rounds to simulate"
+    )
+    bench_channels.add_argument(
+        "--crowd-users", type=int, default=12, dest="crowd_users",
+        help="flash-crowd cohort size on the shared cell",
+    )
+    bench_channels.add_argument(
+        "--bystanders", type=int, default=4,
+        help="bystanders per cell (shared + control)",
+    )
+    bench_channels.add_argument(
+        "--pool-bytes", type=float, default=4_000_000.0, dest="pool_bytes",
+        help="per-round shared byte pool of each cell",
+    )
+    bench_channels.add_argument(
+        "--out", default="",
+        help="write the BENCH_channels.json payload here",
+    )
+    bench_channels.set_defaults(handler=cmd_bench_channels)
 
     survey = commands.add_parser(
         "survey", help="the Figure 2 presentation-utility pipeline"

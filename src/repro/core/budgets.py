@@ -35,6 +35,11 @@ class DataBudget:
     initial_bytes: float = 0.0
     cap_bytes: float | None = None
     _available: float = field(init=False)
+    #: Per-channel ledger: net bytes drawn through each delivery channel
+    #: (debits minus refunds), populated when channel-aware callers
+    #: attribute their debits/credits.  Single-channel legacy callers
+    #: leave it empty; the budget arithmetic itself is channel-blind.
+    per_channel_bytes: dict[str, float] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.theta_bytes < 0:
@@ -61,11 +66,13 @@ class DataBudget:
     def can_afford(self, size_bytes: float) -> bool:
         return size_bytes <= self._available
 
-    def debit(self, size_bytes: float) -> float:
+    def debit(self, size_bytes: float, channel: str | None = None) -> float:
         """Deduct a delivery: ``B(t) -= s(i, j)`` (Algorithm 2, step 3).
 
         Returns the amount actually drained (equal to ``size_bytes`` up to
         the zero floor), which bounds any later refund via :meth:`credit`.
+        ``channel`` attributes the drain to a delivery channel in
+        :attr:`per_channel_bytes` without changing the arithmetic.
         """
         if size_bytes < 0:
             raise ValueError("cannot debit a negative size")
@@ -76,13 +83,20 @@ class DataBudget:
             )
         before = self._available
         self._available = max(0.0, self._available - size_bytes)
-        return before - self._available
+        drained = before - self._available
+        if channel is not None:
+            self.per_channel_bytes[channel] = (
+                self.per_channel_bytes.get(channel, 0.0) + drained
+            )
+        return drained
 
-    def credit(self, size_bytes: float) -> float:
+    def credit(self, size_bytes: float, channel: str | None = None) -> float:
         """Refund bytes debited for a transfer that failed mid-flight.
 
         Returns the amount actually restored (the rollover cap, when set,
         still applies -- a refund can never push ``B(t)`` above the cap).
+        ``channel`` reverses a channel-attributed debit in
+        :attr:`per_channel_bytes`.
         """
         if size_bytes < 0:
             raise ValueError("cannot credit a negative size")
@@ -90,7 +104,12 @@ class DataBudget:
         self._available += size_bytes
         if self.cap_bytes is not None:
             self._available = min(self._available, self.cap_bytes)
-        return self._available - before
+        restored = self._available - before
+        if channel is not None:
+            self.per_channel_bytes[channel] = (
+                self.per_channel_bytes.get(channel, 0.0) - restored
+            )
+        return restored
 
 
 @dataclass

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.channels import Channel
 from repro.core.content import ContentItem
 from repro.runtime.types import Delivery, DroppedItem, RoundResult
 from repro.core.utility import CombinedUtilityModel
@@ -83,8 +84,25 @@ class RetryPolicy:
 
 
 @dataclass
+class ChannelDeliveryStats:
+    """Per-channel slice of the engine counters (byte figures are billed)."""
+
+    attempts: int = 0
+    delivered: int = 0
+    failed_attempts: int = 0
+    retries_scheduled: int = 0
+    dead_letters: int = 0
+    bytes_delivered: float = 0.0
+
+
+@dataclass
 class DeliveryStats:
-    """Cumulative engine counters (mirrored per-round into RoundResult)."""
+    """Cumulative engine counters (mirrored per-round into RoundResult).
+
+    Byte counters are in *billed* (data-budget) bytes; on the legacy
+    single-push path billed and wire bytes coincide.  ``per_channel``
+    breaks attempts/retries/dead-letters down by delivery channel.
+    """
 
     attempts: int = 0
     delivered: int = 0
@@ -97,6 +115,14 @@ class DeliveryStats:
     bytes_wasted: float = 0.0
     energy_refunded_joules: float = 0.0
     fault_counts: dict[str, int] = field(default_factory=dict)
+    per_channel: dict[str, ChannelDeliveryStats] = field(default_factory=dict)
+
+    def channel(self, name: str) -> ChannelDeliveryStats:
+        stats = self.per_channel.get(name)
+        if stats is None:
+            stats = ChannelDeliveryStats()
+            self.per_channel[name] = stats
+        return stats
 
     def conservation_error(self) -> float:
         """``|debited - (delivered + refunded + wasted)|`` -- 0 when sound."""
@@ -113,6 +139,8 @@ class _RetryState:
     attempts: int = 0
     next_eligible: float = float("-inf")
     level_cap: int | None = None
+    #: Channel of the most recent attempt (dead-letter attribution).
+    channel: str = "push"
 
 
 class DeliveryEngine:
@@ -154,16 +182,19 @@ class DeliveryEngine:
         state = self._states.get(item.item_id)
         return None if state is None else state.level_cap
 
-    def apply_level_caps(
-        self, selected: list[tuple[ContentItem, int]]
-    ) -> list[tuple[ContentItem, int]]:
-        """Clamp selected levels to each item's degradation cap."""
-        capped: list[tuple[ContentItem, int]] = []
-        for item, level in selected:
+    def apply_level_caps(self, selected: list) -> list:
+        """Clamp selected levels to each item's degradation cap.
+
+        Accepts ``(item, level)`` pairs or ``(item, level, channel)``
+        triples; the channel element passes through untouched.
+        """
+        capped: list = []
+        for sel in selected:
+            item, level = sel[0], sel[1]
             cap = self.level_cap(item)
             if cap is not None and level > cap:
                 level = cap
-            capped.append((item, level))
+            capped.append((item, level, *sel[2:]))
         return capped
 
     # -- the delivery step ---------------------------------------------------
@@ -172,7 +203,7 @@ class DeliveryEngine:
     def deliver_batch(
         self,
         now: float,
-        selected: list[tuple[ContentItem, int]],
+        selected: list,
         device: MobileDevice,
         data_budget: DataBudget,
         energy_budget: EnergyBudget,
@@ -183,27 +214,50 @@ class DeliveryEngine:
         """Attempt each selected presentation; returns item ids to drop
         from the scheduling queue (delivered or dead-lettered).
 
-        Accounting per attempt of size ``s`` failing at fraction ``f``:
-        debit ``s``; refund ``(1-f)*s`` to the data budget; count ``f*s``
-        as wasted.  Energy follows the same split on the attempt's
-        proportional share of the batch energy, bounded by what the debit
-        actually drained (the virtual queue floors at zero).
+        ``selected`` entries are ``(item, level)`` pairs (legacy push
+        path) or ``(item, level, channel)`` triples; with a channel the
+        attempt rides that channel's ladder (*wire* bytes over the air,
+        priced for energy) while the data budget is charged the
+        channel's *billed* bytes, and every counter is also attributed
+        to the channel in :attr:`DeliveryStats.per_channel`.
+
+        Accounting per attempt billing ``s`` that fails at wire fraction
+        ``f``: debit ``s``; refund ``(1-f)*s`` to the data budget; count
+        ``f*s`` as wasted.  Energy follows the same split on the
+        attempt's proportional share of the batch energy, bounded by
+        what the debit actually drained (the virtual queue floors at
+        zero).
         """
         removed: set[int] = set()
         if not selected:
             return removed
-        sizes = [item.ladder.size(level) for item, level in selected]
+        channels: list[Channel | None] = [
+            sel[2] if len(sel) == 3 else None for sel in selected
+        ]
+        pairs = [(sel[0], sel[1]) for sel in selected]
+        sizes = [
+            item.ladder.size(level) if channel is None
+            else channel.wire_size(item, level)
+            for (item, level), channel in zip(pairs, channels)
+        ]
         batch_energy = device.download_batch(sizes)
         total_size = sum(sizes)
-        for (item, level), size in zip(selected, sizes):
+        for (item, level), channel, size in zip(pairs, channels, sizes):
+            billed = (
+                size if channel is None else channel.cost.billed_bytes(size)
+            )
+            channel_name = "push" if channel is None else channel.name
+            channel_stats = self.stats.channel(channel_name)
             share = batch_energy * (size / total_size) if total_size else 0.0
-            bytes_drained = data_budget.debit(size)
+            bytes_drained = data_budget.debit(billed, channel=channel_name)
             energy_drained = energy_budget.debit(share)
-            self.stats.bytes_debited += size
-            result.debited_bytes += size
+            self.stats.bytes_debited += billed
+            result.debited_bytes += billed
             state = self._states.setdefault(item.item_id, _RetryState())
             state.attempts += 1
+            state.channel = channel_name
             self.stats.attempts += 1
+            channel_stats.attempts += 1
             result.attempts += 1
 
             outcome = None
@@ -222,7 +276,9 @@ class DeliveryEngine:
 
             if outcome is None:
                 self.stats.delivered += 1
-                self.stats.bytes_delivered += size
+                self.stats.bytes_delivered += billed
+                channel_stats.delivered += 1
+                channel_stats.bytes_delivered += billed
                 result.deliveries.append(
                     Delivery(
                         time=now,
@@ -231,7 +287,12 @@ class DeliveryEngine:
                         level=level,
                         size_bytes=size,
                         energy_joules=share,
-                        utility=utility_model.utility(item, level, now),
+                        utility=(
+                            utility_model.utility(item, level, now)
+                            if channel is None
+                            else channel.utility(utility_model, item, level, now)
+                        ),
+                        channel=channel_name,
                     )
                 )
                 removed.add(item.item_id)
@@ -240,15 +301,16 @@ class DeliveryEngine:
 
             # Failed attempt: refund the un-transferred remainder.
             fraction = outcome.fraction_completed
-            refund_bytes = min(size * (1.0 - fraction), bytes_drained)
-            wasted = size - refund_bytes
-            data_budget.credit(refund_bytes)
+            refund_bytes = min(billed * (1.0 - fraction), bytes_drained)
+            wasted = billed - refund_bytes
+            data_budget.credit(refund_bytes, channel=channel_name)
             energy_refund = min(share * (1.0 - fraction), energy_drained)
             energy_budget.credit(energy_refund)
             device.cancel_transfer(size, fraction, share)
 
             kind = outcome.kind.value
             self.stats.failed_attempts += 1
+            channel_stats.failed_attempts += 1
             self.stats.bytes_refunded += refund_bytes
             self.stats.bytes_wasted += wasted
             self.stats.energy_refunded_joules += energy_refund
@@ -277,6 +339,7 @@ class DeliveryEngine:
             if state.attempts >= self.retry.degrade_after_attempts:
                 state.level_cap = max(1, level - 1)
             self.stats.retries_scheduled += 1
+            channel_stats.retries_scheduled += 1
             result.retries_scheduled += 1
         return removed
 
@@ -290,9 +353,16 @@ class DeliveryEngine:
         removed: set[int],
     ) -> None:
         result.dropped.append(
-            DroppedItem(time=now, item=item, reason=reason, attempts=state.attempts)
+            DroppedItem(
+                time=now,
+                item=item,
+                reason=reason,
+                attempts=state.attempts,
+                channel=state.channel,
+            )
         )
         result.dead_letters += 1
         self.stats.dead_letters += 1
+        self.stats.channel(state.channel).dead_letters += 1
         removed.add(item.item_id)
         del self._states[item.item_id]

@@ -17,8 +17,11 @@ from repro.experiments.metrics import (
     aggregate,
     compute_user_metrics,
 )
-from repro.experiments.parallel import run_experiment_parallel
-from repro.experiments.pool import ExperimentPool, sweep_budgets_parallel
+from repro.experiments.pool import (
+    ExperimentPool,
+    run_experiment_parallel,
+    sweep_budgets_parallel,
+)
 from repro.experiments.runner import (
     CellSummary,
     ExperimentResult,

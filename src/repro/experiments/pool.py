@@ -3,8 +3,8 @@
 The paper argues RichNote "can potentially scale to a much larger user
 base using a backend parallel platform since our solution can work in
 rounds and independently for each user".  The one-shot
-:func:`repro.experiments.parallel.run_experiment_parallel` proved the
-sharding; this module makes it a *system*:
+:func:`run_experiment_parallel` below proved the sharding; the pool
+makes it a *system*:
 
 * **Pool lifecycle** -- an :class:`ExperimentPool` is initialized once
   per sweep.  The per-user record shards and the content-utility score

@@ -58,6 +58,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.budgets import EnergyBudget
+from repro.core.channels import ChannelSet
 from repro.core.content import ContentItem, PresentationLadder
 from repro.core.utility import CombinedUtilityModel, ExponentialAging
 from repro.runtime import kernels
@@ -283,7 +284,11 @@ class ColumnarRunResult:
     ``(time, flat_index, level, size_bytes, energy_share_joules,
     utility)`` tuples of plain Python scalars -- the exact fields (and
     bit-exact values) the scalar path's
-    :class:`~repro.runtime.types.Delivery` records.
+    :class:`~repro.runtime.types.Delivery` records.  ``channel_codes[u]``
+    runs parallel to ``deliveries[u]``: each entry indexes
+    ``channel_names`` for the transport that carried the delivery (all
+    zeros on the single-channel path, where the 6-tuple schema and its
+    consumers stay untouched).
     """
 
     deliveries: list[list[tuple]]
@@ -291,6 +296,8 @@ class ColumnarRunResult:
     max_queue_length: np.ndarray
     final_queue_length: np.ndarray
     rounds: int
+    channel_codes: list[list[int]] | None = None
+    channel_names: tuple[str, ...] = ("push",)
 
 
 class _AttachShim:
@@ -331,10 +338,18 @@ class ColumnarEngine:
         duration_seconds: float,
         expected_batch: int = 10,
         energy_model: TransferEnergyModel | None = None,
+        channels: ChannelSet | None = None,
     ) -> None:
         self.cohort = cohort
         self.device = device
         self.policy = policy
+        self.channels = channels
+        self._multichannel = (
+            channels is not None and not channels.is_single_passthrough
+        )
+        self.channel_names = (
+            tuple(channels.names) if self._multichannel else ("push",)
+        )
         self.utility_model = utility_model or CombinedUtilityModel()
         self.times = round_times(round_seconds, duration_seconds)
         n_rounds = len(self.times)
@@ -377,6 +392,44 @@ class ColumnarEngine:
             ]
             self._estimate_fns[code] = self._make_estimator(state)
 
+        # Per-channel precomputation (multichannel only): each channel's
+        # ladder projected to wire/billed size rows, presentation rows and
+        # per-state energy rows.  The single-channel path never reads
+        # these, so building them cannot perturb parity.
+        if self._multichannel:
+            self._ch_wire_sizes: list[list[int]] = []
+            self._ch_billed_sizes: list[list[int]] = []
+            self._ch_pres_rows: list[list[float]] = []
+            for channel in self.channels:
+                ch_ladder = channel.ladder or ladder
+                wire = [
+                    ch_ladder.size(level)
+                    for level in range(ch_ladder.max_level + 1)
+                ]
+                self._ch_wire_sizes.append(wire)
+                self._ch_billed_sizes.append(
+                    [channel.cost.billed_bytes(size) for size in wire]
+                )
+                self._ch_pres_rows.append(
+                    [
+                        ch_ladder.utility(level)
+                        for level in range(ch_ladder.max_level + 1)
+                    ]
+                )
+            self._ch_energies_rows: dict[int, list[list[float]]] = {}
+            for state in (NetworkState.CELL, NetworkState.WIFI):
+                code = STATE_CODES[state]
+                self._ch_energies_rows[code] = [
+                    [0.0]
+                    + [
+                        self._energy_model.estimate_for_selection(
+                            state, size, expected_batch=expected_batch
+                        )
+                        for size in wire[1:]
+                    ]
+                    for wire in self._ch_wire_sizes
+                ]
+
         # Column views the per-user Python loops index into.
         self._created_np = cohort.created_at
         self._created_list = cohort.created_at.tolist()
@@ -394,6 +447,7 @@ class ColumnarEngine:
             queues=[[] for _ in range(users)],
         )
         self._deliveries: list[list[tuple]] = [[] for _ in range(users)]
+        self._channel_codes: list[list[int]] = [[] for _ in range(users)]
         self._backlog_sum = np.zeros(users, dtype=np.float64)
         self._max_queue = np.zeros(users, dtype=np.int64)
         self._next_round = 0
@@ -443,11 +497,25 @@ class ColumnarEngine:
             )
         elif not needs_item_objects(policy, self.utility_model):
             self._mode = "fifo" if type(policy) is FifoPolicy else "util"
-            self._fixed_level = min(
-                policy.fixed_level, self.cohort.ladder.max_level
-            )
+            if self._multichannel:
+                # Baselines route everything over the primary channel,
+                # mirroring FixedLevelPolicy.fill_channel on the scalar path.
+                primary = self.channels.primary
+                primary_ladder = primary.ladder or self.cohort.ladder
+                self._fixed_level = min(
+                    policy.fixed_level, primary_ladder.max_level
+                )
+            else:
+                self._fixed_level = min(
+                    policy.fixed_level, self.cohort.ladder.max_level
+                )
         else:
             self._mode = "compat"
+            if self._multichannel:
+                raise ValueError(
+                    "custom policies are not supported on the multichannel "
+                    "columnar path; run them through the scalar RoundLoop"
+                )
             if self.cohort.items is None:
                 raise ValueError(
                     "a custom policy or utility model needs cohort.items "
@@ -498,6 +566,8 @@ class ColumnarEngine:
             max_queue_length=self._max_queue,
             final_queue_length=self.state.pending,
             rounds=rounds,
+            channel_codes=self._channel_codes,
+            channel_names=self.channel_names,
         )
 
     def _run_round(self, k: int, now: float) -> None:
@@ -536,7 +606,12 @@ class ColumnarEngine:
             if not members.size:
                 continue
             if self._mode == "richnote":
-                self._select_richnote(now, code, members, counts[members])
+                if self._multichannel:
+                    self._select_richnote_channels(
+                        now, code, members, counts[members]
+                    )
+                else:
+                    self._select_richnote(now, code, members, counts[members])
             elif self._mode == "compat":
                 self._select_compat(now, code, members.tolist())
             else:
@@ -638,15 +713,110 @@ class ColumnarEngine:
             chosen.sort(key=lambda entry: entry[2], reverse=True)
             self._deliver(u, now, chosen, code)
 
+    def _select_richnote_channels(
+        self,
+        now: float,
+        code: int,
+        members: np.ndarray,
+        group_counts: np.ndarray,
+    ) -> None:
+        """Joint (channel x level) MCKP over every queued item of the group.
+
+        One Eq. 7 adjusted-profit matrix per channel (the batched kernel,
+        once per channel instead of once), then per item the per-channel
+        rows merge into a single strictly-increasing billed-size row
+        (:func:`repro.runtime.kernels.merge_channel_rows`) and Algorithm 1
+        picks over the merged rows -- always via the hull selector, since
+        cross-channel gradients are not monotone.
+        """
+        state = self.state
+        queues = state.queues
+        flat: list[int] = []
+        bounds: list[tuple[int, int, int]] = []
+        for u in members.tolist():
+            start = len(flat)
+            flat.extend(queues[u])
+            bounds.append((u, start, len(flat)))
+        flat_arr = np.asarray(flat, dtype=np.intp)
+        decayed = self._decay_column_at(flat_arr, now)
+        cfg = self._lyapunov
+        q_repeat = np.repeat(group_counts * self._ladder_total_f, group_counts)
+        p_repeat = np.repeat(state.energy_available[members], group_counts)
+        adjusted_rows: list[list[list[float]]] = []
+        for ci in range(len(self.channel_names)):
+            utilities = kernels.combined_utility_matrix(
+                decayed, self._ch_pres_rows[ci]
+            )
+            adjusted = kernels.lyapunov_adjusted_rows(
+                utilities,
+                self._ch_energies_rows[code][ci],
+                self._ladder_total_f,
+                q_repeat,
+                p_repeat,
+                kappa_joules=cfg.kappa_joules,
+                v=cfg.v,
+                size_scale=cfg.size_scale,
+                energy_scale=cfg.energy_scale,
+            )
+            adjusted_rows.append(adjusted.tolist())
+        n_channels = len(self.channel_names)
+        merged_sizes: list[list[int]] = []
+        merged_profits: list[list[float]] = []
+        backmaps: list[list[tuple[int, int]]] = []
+        for row in range(len(flat)):
+            sizes, profits, backmap = kernels.merge_channel_rows(
+                self._ch_billed_sizes,
+                [adjusted_rows[ci][row] for ci in range(n_channels)],
+            )
+            merged_sizes.append(sizes)
+            merged_profits.append(profits)
+            backmaps.append(backmap)
+        decayed_list = decayed.tolist()
+        item_ids = self._item_ids
+        budgets = np.minimum(
+            state.data_available[members], self._capacity[code]
+        ).tolist()
+        for (u, start, end), user_budget in zip(bounds, budgets):
+            budget = int(user_budget)
+            choices, _, _ = kernels.greedy_select_hull(
+                [item_ids[i] for i in flat[start:end]],
+                merged_sizes[start:end],
+                merged_profits[start:end],
+                budget,
+            )
+            chosen: list[tuple[int, int, float, int]] = []
+            for position, choice in enumerate(choices):
+                if choice <= 0:
+                    continue
+                ci, level = backmaps[start + position][choice]
+                utility = (
+                    decayed_list[start + position]
+                    * self._ch_pres_rows[ci][level]
+                )
+                chosen.append((flat[start + position], level, utility, ci))
+            if not chosen:
+                continue
+            chosen.sort(key=lambda entry: entry[2], reverse=True)
+            self._deliver_channels(u, now, chosen, code)
+
     def _select_fixed(
         self, now: float, code: int, members: np.ndarray
     ) -> None:
-        """FIFO/UTIL baselines: order, greedy-fill at the fixed level."""
+        """FIFO/UTIL baselines: order, greedy-fill at the fixed level.
+
+        Multichannel runs route everything over the primary channel --
+        billed bytes fill the budget, wire bytes price delivery -- just
+        like ``FixedLevelPolicy.fill_channel`` on the scalar path.
+        """
         state = self.state
         queues = state.queues
         level = self._fixed_level
-        size = self._level_sizes[level]
-        level_util = self._presentation_row[level]
+        if self._multichannel:
+            size = self._ch_billed_sizes[0][level]
+            level_util = self._ch_pres_rows[0][level]
+        else:
+            size = self._level_sizes[level]
+            level_util = self._presentation_row[level]
         created = self._created_list
         by_util = self._mode == "util"
         budgets = np.minimum(
@@ -677,7 +847,15 @@ class ColumnarEngine:
                     for i in chosen
                 ]
             selected.sort(key=lambda entry: entry[2], reverse=True)
-            self._deliver(u, now, selected, code)
+            if self._multichannel:
+                self._deliver_channels(
+                    u,
+                    now,
+                    [(i, lvl, util, 0) for i, lvl, util in selected],
+                    code,
+                )
+            else:
+                self._deliver(u, now, selected, code)
 
     def _select_compat(
         self, now: float, code: int, users: Sequence[int]
@@ -751,11 +929,55 @@ class ColumnarEngine:
         energy = state.energy_available
         out = self._deliveries[u]
         delivered: set[int] = set()
+        codes_out = self._channel_codes[u]
         for (index, level, utility), size in zip(chosen, sizes):
             share = batch_energy * (size / total_size) if total_size else 0.0
             data[u] = max(0.0, data[u] - size)
             energy[u] = max(0.0, energy[u] - share)
             out.append((now, index, level, size, share, utility))
+            codes_out.append(0)
+            delivered.add(index)
+        state.queues[u] = [
+            i for i in state.queues[u] if i not in delivered
+        ]
+        self._counts[u] = len(state.queues[u])
+
+    def _deliver_channels(
+        self,
+        u: int,
+        now: float,
+        chosen: list[tuple[int, int, float, int]],
+        code: int,
+    ) -> None:
+        """Multichannel twin of :meth:`_deliver`.
+
+        Wire bytes price the batch energy and appear in the delivery
+        tuples (parallel with the scalar path's ``Delivery.size_bytes``);
+        *billed* bytes drain the data column.  The channel index of each
+        delivery lands in the parallel channel-code column.
+        """
+        if not chosen:
+            return
+        wire_sizes = [
+            self._ch_wire_sizes[ci][level] for _, level, _, ci in chosen
+        ]
+        batch_energy = self._energy_model.batch_energy(
+            _CODE_STATES[code], wire_sizes
+        )
+        total_size = sum(wire_sizes)
+        state = self.state
+        data = state.data_available
+        energy = state.energy_available
+        out = self._deliveries[u]
+        codes_out = self._channel_codes[u]
+        delivered: set[int] = set()
+        for (index, level, utility, ci), wire in zip(chosen, wire_sizes):
+            share = batch_energy * (wire / total_size) if total_size else 0.0
+            billed = self._ch_billed_sizes[ci][level]
+            data[u] = max(0.0, data[u] - billed)
+            energy[u] = max(0.0, energy[u] - share)
+            out.append((now, index, level, wire, share, utility))
+            codes_out.append(ci)
             delivered.add(index)
         state.queues[u] = [
             i for i in state.queues[u] if i not in delivered

@@ -44,6 +44,7 @@ __all__ = [
     "hull_levels",
     "ingest_round_index",
     "lyapunov_adjusted_matrix",
+    "merge_channel_rows",
     "lyapunov_adjusted_rows",
     "replenish_data_column",
     "replenish_energy_column",
@@ -253,6 +254,51 @@ def ingest_round_index(
     times = np.asarray(round_times, dtype=np.float64)
     created = np.asarray(created_at, dtype=np.float64)
     return np.searchsorted(times, created, side="left")
+
+
+def merge_channel_rows(
+    sizes_rows: Sequence[Sequence[int]],
+    profits_rows: Sequence[Sequence[float]],
+) -> tuple[list[int], list[float], list[tuple[int, int]]]:
+    """Fuse one item's per-channel ladders into a single MCKP choice row.
+
+    ``sizes_rows[c]`` / ``profits_rows[c]`` describe channel ``c``'s
+    ladder for the item: entry ``j`` is the (billed) size and adjusted
+    profit of presenting at level ``j`` on that channel, with entry 0 the
+    shared "not sent" choice (size 0).  The merged row is the union of
+    all (channel, level > 0) choices sorted by strictly increasing size,
+    which is exactly the precondition of :func:`greedy_select_hull` --
+    the hull pass then prunes dominated cross-channel choices, so
+    Algorithm 1 picks channel and level *jointly*.
+
+    Equal-size ties keep the highest-profit choice (then the lowest
+    channel index, then the lowest level -- deterministic).  A non-null
+    choice whose billed size is 0 cannot be represented (index 0 is
+    reserved for "not sent") and is dropped.
+
+    Returns ``(sizes, profits, backmap)`` where ``backmap[j]`` is the
+    ``(channel_index, level)`` behind merged choice ``j`` and
+    ``backmap[0] == (0, 0)`` is the not-sent sentinel.
+    """
+    choices: list[tuple[int, float, int, int]] = []
+    for channel_index, (sizes, profits) in enumerate(
+        zip(sizes_rows, profits_rows)
+    ):
+        for level in range(1, len(sizes)):
+            choices.append(
+                (int(sizes[level]), float(profits[level]), channel_index, level)
+            )
+    choices.sort(key=lambda entry: (entry[0], -entry[1], entry[2], entry[3]))
+    merged_sizes: list[int] = [0]
+    merged_profits: list[float] = [0.0]
+    backmap: list[tuple[int, int]] = [(0, 0)]
+    for size, profit, channel_index, level in choices:
+        if size <= merged_sizes[-1]:
+            continue
+        merged_sizes.append(size)
+        merged_profits.append(profit)
+        backmap.append((channel_index, level))
+    return merged_sizes, merged_profits, backmap
 
 
 def gradient(

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delivery imports us)
 
 from repro.analysis.markers import conserves
 from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.channels import Channel, ChannelSet
 from repro.core.content import ContentItem
 from repro.core.utility import CombinedUtilityModel
 from repro.runtime.policy import RoundContext, SchedulerPolicy
@@ -45,13 +46,18 @@ from repro.sim.device import MobileDevice
 
 @dataclass(slots=True)
 class RoundState:
-    """Mutable scratch state threaded through one round's phases."""
+    """Mutable scratch state threaded through one round's phases.
+
+    ``selected`` holds ``(item, level)`` pairs on the legacy path or
+    ``(item, level, channel)`` triples when multiple channels are
+    configured.
+    """
 
     now: float
     round_seconds: float
     result: RoundResult
     effective_budget: int = 0
-    selected: list[tuple[ContentItem, int]] = field(default_factory=list)
+    selected: list = field(default_factory=list)
 
 
 class RoundLoop:
@@ -76,6 +82,8 @@ class RoundLoop:
         ttl_seconds: float | None = None,
         delivery_engine: "DeliveryEngine | None" = None,
         policy: SchedulerPolicy | None = None,
+        channels: ChannelSet | None = None,
+        shared_capacity=None,
     ) -> None:
         if ttl_seconds is not None and ttl_seconds <= 0:
             raise ValueError("ttl must be positive when set")
@@ -101,6 +109,17 @@ class RoundLoop:
         #: items still deliver as metadata-only).  ``None`` -- the default,
         #: and the paper's behaviour -- leaves selections untouched.
         self.level_cap: int | None = None
+        #: Configured delivery channels.  ``None`` (the default) and a
+        #: single passthrough channel both take the legacy single-push
+        #: code paths bit for bit; anything else enables joint
+        #: (channel x level) selection and per-channel delivery routing.
+        self.channels = channels
+        #: Duck-typed shared-capacity pool (``grant(user_id, requested)``
+        #: / ``consume(user_id, used)`` -- see
+        #: :class:`repro.pubsub.capacity.SharedCellCapacity`).  Couples
+        #: this user's round budget to everyone sharing the same cell;
+        #: ``None`` keeps budgets private, as in the paper.
+        self.shared_capacity = shared_capacity
         self._observers: list[Callable[["RoundLoop", RoundResult], None]] = []
         self.policy: SchedulerPolicy | None = None
         if policy is not None:
@@ -180,6 +199,7 @@ class RoundLoop:
             energy_available_joules=self.energy_budget.available,
             utility_model=self.utility_model,
             estimate_energy=self.device.estimate_energy,
+            channels=self.channels,
         )
 
     def _select(
@@ -255,21 +275,37 @@ class RoundLoop:
         if not (self.device.connected and self._selectable(now)):
             return
         capacity = self.device.round_capacity_bytes(state.round_seconds)
-        state.effective_budget = int(min(self.data_budget.available, capacity))
+        effective_budget = int(min(self.data_budget.available, capacity))
+        if self.shared_capacity is not None:
+            # Shared cell pool: this round's budget is further clamped to
+            # whatever the user's cell has left, coupling users on the
+            # same tower.  Heavy crowds drain the pool; bystanders see a
+            # smaller grant.
+            granted = self.shared_capacity.grant(
+                self.device.user_id, effective_budget
+            )
+            effective_budget = int(min(effective_budget, granted))
+        state.effective_budget = effective_budget
         selected = self._select(now, state.effective_budget)
         if self.level_cap is not None:
             # Degradation ladder (service overload): shed rich-media levels
             # first, keeping at least the metadata presentation (level 1).
             cap = max(1, self.level_cap)
-            selected = [(item, min(level, cap)) for item, level in selected]
+            selected = [
+                (sel[0], min(sel[1], cap), *sel[2:]) for sel in selected
+            ]
         if self.delivery_engine is not None:
             # Previously failed items may be capped at a degraded level.
             selected = self.delivery_engine.apply_level_caps(selected)
-        # Delivery queue drains in descending utility order (Alg. 2, step 1).
-        selected.sort(
-            key=lambda pair: self.utility_model.utility(pair[0], pair[1], now),
-            reverse=True,
-        )
+
+        # Delivery queue drains in descending utility order (Alg. 2, step 1);
+        # multi-channel selections rank by the chosen channel's utility.
+        def _utility_key(sel) -> float:
+            if len(sel) == 3:
+                return sel[2].utility(self.utility_model, sel[0], sel[1], now)
+            return self.utility_model.utility(sel[0], sel[1], now)
+
+        selected.sort(key=_utility_key, reverse=True)
         state.selected = selected
 
     def deliver_phase(self, state: RoundState) -> None:
@@ -279,13 +315,14 @@ class RoundLoop:
     def _deliver(
         self,
         now: float,
-        selected: list[tuple[ContentItem, int]],
+        selected: list,
         result: RoundResult,
     ) -> None:
         """Drain the delivery queue: debit budgets, record deliveries."""
         if not selected:
             return
         if self.delivery_engine is not None:
+            first_new = len(result.deliveries)
             removed = self.delivery_engine.deliver_batch(
                 now=now,
                 selected=selected,
@@ -303,11 +340,16 @@ class RoundLoop:
                     for item in self._scheduling
                     if item.item_id not in removed
                 ]
+            self._consume_shared(result.deliveries[first_new:])
+            return
+        if any(len(sel) == 3 for sel in selected):
+            self._deliver_channels(now, selected, result)
             return
         sizes = [item.ladder.size(level) for item, level in selected]
         batch_energy = self.device.download_batch(sizes)
         total_size = sum(sizes)
         delivered_ids = set()
+        first_new = len(result.deliveries)
         for (item, level), size in zip(selected, sizes):
             # Realized energy attribution: proportional share of the batch.
             share = batch_energy * (size / total_size) if total_size else 0.0
@@ -329,3 +371,67 @@ class RoundLoop:
         self._scheduling = [
             item for item in self._scheduling if item.item_id not in delivered_ids
         ]
+        self._consume_shared(result.deliveries[first_new:])
+
+    @conserves("billed debit per delivery; wire bytes drawn from the cell pool")
+    def _deliver_channels(
+        self,
+        now: float,
+        selected: list,
+        result: RoundResult,
+    ) -> None:
+        """Atomic delivery of ``(item, level, channel)`` triples.
+
+        Energy and the device transfer are priced on *wire* bytes (what
+        crosses the air on the channel's ladder); the data budget is
+        debited the channel's *billed* bytes.
+        """
+        triples: list[tuple[ContentItem, int, Channel]] = [
+            sel if len(sel) == 3 else (sel[0], sel[1], self.channels.primary)
+            for sel in selected
+        ]
+        wire_sizes = [
+            channel.wire_size(item, level) for item, level, channel in triples
+        ]
+        batch_energy = self.device.download_batch(wire_sizes)
+        total_wire = sum(wire_sizes)
+        delivered_ids = set()
+        first_new = len(result.deliveries)
+        for (item, level, channel), wire in zip(triples, wire_sizes):
+            share = batch_energy * (wire / total_wire) if total_wire else 0.0
+            self.data_budget.debit(
+                channel.cost.billed_bytes(wire), channel=channel.name
+            )
+            self.energy_budget.debit(share)
+            result.deliveries.append(
+                Delivery(
+                    time=now,
+                    user_id=self.device.user_id,
+                    item=item,
+                    level=level,
+                    size_bytes=wire,
+                    energy_joules=share,
+                    utility=channel.utility(self.utility_model, item, level, now),
+                    channel=channel.name,
+                )
+            )
+            delivered_ids.add(item.item_id)
+        self._scheduling = [
+            item for item in self._scheduling if item.item_id not in delivered_ids
+        ]
+        self._consume_shared(result.deliveries[first_new:])
+
+    def _consume_shared(self, deliveries: list) -> None:
+        """Draw this round's delivered cell-coupled wire bytes from the pool."""
+        if self.shared_capacity is None or not deliveries:
+            return
+        if self.channels is None:
+            cell_bytes = sum(d.size_bytes for d in deliveries)
+        else:
+            cell_bytes = sum(
+                d.size_bytes
+                for d in deliveries
+                if self.channels.get_or_primary(d.channel).cell_coupled
+            )
+        if cell_bytes:
+            self.shared_capacity.consume(self.device.user_id, cell_bytes)

@@ -27,8 +27,9 @@ duck typing (see docs/EXTENDING.md section 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence, runtime_checkable
+from typing import Callable, Protocol, Sequence, Union, runtime_checkable
 
+from repro.core.channels import Channel, ChannelSet
 from repro.core.content import ContentItem
 from repro.core.lyapunov import (
     LyapunovConfig,
@@ -39,6 +40,18 @@ from repro.core.utility import CombinedUtilityModel
 from repro.runtime import kernels
 from repro.runtime.registry import register
 
+#: One selected delivery: ``(item, level)`` on the legacy single-channel
+#: path, or ``(item, level, channel)`` when a multi-channel
+#: :class:`~repro.core.channels.ChannelSet` is configured.
+Selection = Union[
+    "tuple[ContentItem, int]", "tuple[ContentItem, int, Channel]"
+]
+
+
+def _multi_channel(channels: ChannelSet | None) -> bool:
+    """True when selection must pick a channel jointly with the level."""
+    return channels is not None and not channels.is_single_passthrough
+
 
 @dataclass(frozen=True, slots=True)
 class RoundContext:
@@ -48,7 +61,10 @@ class RoundContext:
     survivors, not in retry backoff), in queue order.  ``backlog_bytes``
     / ``energy_available_joules`` are the ``Q(t)`` / ``P(t)`` snapshots
     frozen for the round, and ``estimate_energy`` prices a download of a
-    given size under the round's (fixed) network state.
+    given size under the round's (fixed) network state.  ``channels`` is
+    the configured :class:`~repro.core.channels.ChannelSet`; ``None`` (or
+    a single passthrough channel) selects the legacy single-push path and
+    policies then return plain ``(item, level)`` pairs.
     """
 
     now: float
@@ -58,13 +74,19 @@ class RoundContext:
     energy_available_joules: float
     utility_model: CombinedUtilityModel
     estimate_energy: Callable[[int], float]
+    channels: ChannelSet | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class RoundDecision:
-    """A policy's answer: ``(item, level > 0)`` pairs within budget."""
+    """A policy's answer: ``(item, level > 0)`` pairs within budget.
 
-    selections: list[tuple[ContentItem, int]]
+    With multiple channels configured, selections are
+    ``(item, level, channel)`` triples and ``total_size`` counts *billed*
+    bytes (what the data budget is charged) rather than wire bytes.
+    """
+
+    selections: list
     total_size: int = 0
     total_profit: float = 0.0
 
@@ -150,6 +172,8 @@ class RichNotePolicy:
             p_joules=ctx.energy_available_joules,
         )
         items = list(ctx.items)
+        if _multi_channel(ctx.channels):
+            return self._select_channels(ctx, items, state)
         if type(ctx.utility_model) is CombinedUtilityModel:
             sizes_rows, profits_rows = self._array_profiles(ctx, items, state)
         else:
@@ -173,6 +197,91 @@ class RichNotePolicy:
                 for index, level in enumerate(levels)
                 if level > 0
             ],
+            total_size=total_size,
+            total_profit=total_profit,
+        )
+
+    def _select_channels(
+        self,
+        ctx: RoundContext,
+        items: list[ContentItem],
+        state: LyapunovState,
+    ) -> RoundDecision:
+        """Joint (channel x level) MCKP over the configured channel set.
+
+        Each item's choice set is the union of every channel's ladder:
+        per channel the Eq. 7 adjustment is computed on that channel's
+        presentation utilities and *wire*-size energies, then the rows
+        are fused by :func:`repro.runtime.kernels.merge_channel_rows`
+        into one strictly-increasing row priced in *billed* bytes.
+        Cross-channel gradients are not monotone, so Algorithm 1 always
+        runs behind the hull (LP-domination) preprocessing here.
+        """
+        channels = list(ctx.channels)
+        model = ctx.utility_model
+        now = ctx.now
+        energy_cache: dict[int, float] = {}
+
+        def priced_energy(wire_size: int) -> float:
+            energy = energy_cache.get(wire_size)
+            if energy is None:
+                energy = ctx.estimate_energy(wire_size)
+                energy_cache[wire_size] = energy
+            return energy
+
+        sizes_rows: list[list[int]] = []
+        profits_rows: list[list[float]] = []
+        backmaps: list[list[tuple[int, int]]] = []
+        for item in items:
+            # Q(t)'s per-item contribution stays the item's native ladder
+            # (Eq. 4: queue backlog is independent of the route chosen).
+            item_backlog = float(item.ladder.total_size())
+            billed_rows: list[list[int]] = []
+            adjusted_rows: list[list[float]] = []
+            for channel in channels:
+                ladder = channel.ladder_for(item)
+                n_levels = ladder.max_level + 1
+                wire_sizes = [ladder.size(level) for level in range(n_levels)]
+                utilities = [
+                    channel.utility(model, item, level, now)
+                    for level in range(n_levels)
+                ]
+                energies = [0.0] + [
+                    priced_energy(size) for size in wire_sizes[1:]
+                ]
+                billed_rows.append(
+                    [0]
+                    + [
+                        channel.cost.billed_bytes(size)
+                        for size in wire_sizes[1:]
+                    ]
+                )
+                adjusted_rows.append(
+                    self.controller.adjusted_profile(
+                        state, item_backlog, energies, utilities
+                    )
+                )
+            merged_sizes, merged_profits, backmap = kernels.merge_channel_rows(
+                billed_rows, adjusted_rows
+            )
+            sizes_rows.append(merged_sizes)
+            profits_rows.append(merged_profits)
+            backmaps.append(backmap)
+
+        choices, total_size, total_profit = kernels.greedy_select_hull(
+            [item.item_id for item in items],
+            sizes_rows,
+            profits_rows,
+            ctx.effective_budget,
+        )
+        selections = []
+        for index, choice in enumerate(choices):
+            if choice == 0:
+                continue
+            channel_index, level = backmaps[index][choice]
+            selections.append((items[index], level, channels[channel_index]))
+        return RoundDecision(
+            selections=selections,
             total_size=total_size,
             total_profit=total_profit,
         )
@@ -321,8 +430,33 @@ class FixedLevelPolicy:
                 remaining -= size
         return chosen
 
+    def fill_channel(
+        self,
+        ordered: list[ContentItem],
+        effective_budget: int,
+        channel: Channel,
+    ) -> list:
+        """Greedy fixed-level fill routed over one channel (billed bytes)."""
+        remaining = effective_budget
+        chosen: list = []
+        for item in ordered:
+            level = min(self.fixed_level, channel.max_level(item))
+            size = channel.billed_size(item, level)
+            if size <= remaining:
+                chosen.append((item, level, channel))
+                remaining -= size
+        return chosen
+
     def select(self, ctx: RoundContext) -> RoundDecision:
         ordered = self.order_items(list(ctx.items), ctx.now, ctx.utility_model)
+        if _multi_channel(ctx.channels):
+            # Baselines have no channel optimization: everything rides the
+            # primary channel, mirroring a fixed-level push pipeline.
+            return RoundDecision(
+                selections=self.fill_channel(
+                    ordered, ctx.effective_budget, ctx.channels.primary
+                )
+            )
         return RoundDecision(selections=self.fill(ordered, ctx.effective_budget))
 
 

@@ -23,7 +23,14 @@ from repro.core.content import ContentItem
 
 @dataclass(frozen=True, slots=True)
 class Delivery:
-    """One presentation delivered to the device."""
+    """One presentation delivered to the device.
+
+    ``channel`` names the delivery transport
+    (:class:`repro.core.channels.Channel`); the default ``"push"`` is the
+    paper's single channel.  ``size_bytes`` is always the *wire* size of
+    the presentation -- the channel's billed (data-budget) size can be
+    recomputed from its cost curve.
+    """
 
     time: float
     user_id: int
@@ -32,6 +39,7 @@ class Delivery:
     size_bytes: int
     energy_joules: float
     utility: float
+    channel: str = "push"
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +57,8 @@ class DroppedItem:
     item: ContentItem
     reason: str
     attempts: int = 0
+    #: Transport of the last failed attempt ("push" on the legacy path).
+    channel: str = "push"
 
 
 @dataclass(slots=True)

@@ -1,0 +1,14 @@
+"""OK fixture: ``core/channels.py`` alone may read the cost tables.
+
+RL601 bans ``repro.core._channel_costs`` everywhere else in the scoped
+trees; this file's path ends ``core/channels.py``, so both import forms
+must stay silent.
+"""
+
+from repro.core import _channel_costs
+from repro.core._channel_costs import COST_CURVES
+
+
+def per_byte(name: str) -> float:
+    assert name in _channel_costs.COST_CURVES
+    return COST_CURVES[name][0]

@@ -2,11 +2,20 @@
 
 from repro.core.content import ContentItem  # same layer: fine
 from repro.runtime.loop import RoundLoop  # runtime from core: fine
+from repro.core.channels import Channel  # the sanctioned pricing seam: fine
 
 from repro.experiments.runner import run_experiment  # EXPECT[RL601]
 from repro.experiments import metrics  # EXPECT[RL601]
 import repro.cli  # EXPECT[RL601]
+from repro.service.sinks import GuardedSink  # EXPECT[RL601]
+import repro.service.degrade  # EXPECT[RL601]
+from repro.core._channel_costs import COST_CURVES  # EXPECT[RL601]
+from repro.core import _channel_costs  # EXPECT[RL601]
 
 
 def fine(loop: RoundLoop, item: ContentItem) -> None:
     loop.enqueue(item)
+
+
+def priced(channel: Channel, wire: float) -> float:
+    return channel.cost.billed_bytes(wire)

@@ -1,8 +1,21 @@
 """Tests for broker-side capacity management (satisfied subscribers)."""
 
+import asyncio
+import random
+
 import pytest
 
-from repro.pubsub.broker import Broker, DeliveryMode, Notification
+from repro.core.content import ContentItem, ContentKind
+from repro.core.presentations import build_audio_ladder
+from repro.pubsub.broker import (
+    Broker,
+    BreakerState,
+    CircuitBreakerConfig,
+    DeliveryMode,
+    Notification,
+)
+from repro.runtime.types import Delivery
+from repro.service import GuardedSink, SimulatedClock, SinkPolicy
 from repro.pubsub.capacity import (
     CapacityConfig,
     CapacityLimitedBroker,
@@ -218,3 +231,174 @@ class TestExhaustionAndRefund:
         assert len(received) == 4
         # Dropped notifications were filtered before the sink layer.
         assert wrapper.total_delivered + wrapper.total_dropped == 6
+
+
+def _as_delivery(notification: Notification) -> Delivery:
+    """Adapt a pubsub notification to the egress sinks' Delivery shape."""
+    return Delivery(
+        time=notification.timestamp,
+        user_id=notification.recipient_id,
+        item=ContentItem(
+            item_id=notification.notification_id,
+            user_id=notification.recipient_id,
+            kind=ContentKind.FRIEND_FEED,
+            created_at=notification.timestamp,
+            ladder=_LADDER,
+        ),
+        level=1,
+        size_bytes=1_000,
+        energy_joules=1.0,
+        utility=0.5,
+    )
+
+
+_LADDER = build_audio_ladder()
+
+
+class TestCapacityAcrossOpenBreaker:
+    """Capacity-filtered rounds feeding a guarded sink whose breaker
+    opens (ISSUE 9 satellite).
+
+    The conservation ledger must stay exact end to end: every matched
+    notification is accounted exactly once as capacity-dropped,
+    sink-delivered, sink-exhausted, or breaker-refused -- the capacity
+    layer and the egress layer never double-count or lose one.
+    """
+
+    def _stack(self, sink, *, failure_threshold=2, cooldown_skips=100):
+        store = SubscriptionStore()
+        topic = Topic(TopicKind.ARTIST, 1)
+        for user in (1, 2, 3):
+            store.subscribe(user, topic)
+        inner = Broker(store, default_mode=DeliveryMode.ROUND)
+        wrapper = CapacityLimitedBroker(
+            inner, CapacityConfig(broker_capacity=2)
+        )
+        clock = SimulatedClock()
+        guarded = GuardedSink(
+            sink,
+            clock=clock,
+            rng=random.Random(7),
+            policy=SinkPolicy(max_attempts=1),
+            breaker=CircuitBreakerConfig(
+                failure_threshold=failure_threshold,
+                cooldown_skips=cooldown_skips,
+            ),
+        )
+        selected: list[Notification] = []
+        wrapper.add_sink(selected.append)
+        return topic, inner, wrapper, clock, guarded, selected
+
+    def _run_rounds(self, topic, wrapper, clock, guarded, selected, rounds):
+        async def scenario():
+            for timestamp in range(1, rounds + 1):
+                wrapper.publish(
+                    Publication(
+                        topic=topic,
+                        publisher_id=99,
+                        timestamp=float(timestamp),
+                    )
+                )
+                selected.clear()
+                wrapper.flush_round()
+                for notification in selected:
+                    await guarded.deliver(_as_delivery(notification))
+
+        asyncio.run(clock.drive(scenario()))
+
+    def test_open_breaker_rounds_keep_ledger_exact(self):
+        def down(_delivery):
+            raise RuntimeError("egress down")
+
+        topic, inner, wrapper, clock, guarded, selected = self._stack(down)
+        self._run_rounds(topic, wrapper, clock, guarded, selected, rounds=4)
+
+        # Two failures trip the breaker; every later selected
+        # notification is refused fast without an attempt.
+        assert guarded.breaker_state is BreakerState.OPEN
+        assert guarded.stats.attempts == 2
+        assert guarded.stats.delivered == 0
+        assert guarded.stats.exhausted == 2
+        assert guarded.stats.breaker_skips == 6
+
+        # Capacity layer: 3 matched per round, 2 selected, 1 dropped.
+        matched = inner.stats.notifications
+        assert matched == 12
+        assert wrapper.total_delivered + wrapper.total_dropped == matched
+        assert inner.pending_count == 0
+
+        # The cross-layer ledger closes exactly: capacity drops plus the
+        # guarded sink's three outcomes account for every notification.
+        assert matched == (
+            wrapper.total_dropped
+            + guarded.stats.delivered
+            + guarded.stats.exhausted
+            + guarded.stats.breaker_skips
+        )
+        # Within the sink, attempts split exactly into outcomes.
+        assert guarded.stats.attempts == (
+            guarded.stats.delivered + guarded.stats.failures
+        )
+
+    def test_breaker_recovery_keeps_ledger_exact(self):
+        calls = {"n": 0}
+
+        def flaky(_delivery):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise RuntimeError("warming up")
+
+        topic, inner, wrapper, clock, guarded, selected = self._stack(
+            flaky, cooldown_skips=2
+        )
+        self._run_rounds(topic, wrapper, clock, guarded, selected, rounds=4)
+
+        # Round 1 opens the breaker (2 failures); round 2's deliveries
+        # burn the cooldown; round 3's first delivery is the half-open
+        # probe, succeeds, and re-closes -- everything after delivers.
+        assert guarded.breaker_state is BreakerState.CLOSED
+        assert guarded.stats.delivered == 4
+        assert guarded.stats.exhausted == 2
+        assert guarded.stats.breaker_skips == 2
+
+        matched = inner.stats.notifications
+        assert matched == 12
+        assert matched == (
+            wrapper.total_dropped
+            + guarded.stats.delivered
+            + guarded.stats.exhausted
+            + guarded.stats.breaker_skips
+        )
+
+    def test_per_round_selection_ledger_is_exact_while_open(self):
+        def down(_delivery):
+            raise RuntimeError("egress down")
+
+        topic, inner, wrapper, clock, guarded, selected = self._stack(down)
+
+        async def scenario():
+            ledgers = []
+            for timestamp in (1.0, 2.0, 3.0):
+                wrapper.publish(
+                    Publication(
+                        topic=topic, publisher_id=99, timestamp=timestamp
+                    )
+                )
+                pending = inner.pending_count
+                selected.clear()
+                selection = wrapper.flush_round()
+                ledgers.append(
+                    (
+                        pending,
+                        len(selection.delivered),
+                        len(selection.dropped),
+                    )
+                )
+                for notification in selected:
+                    await guarded.deliver(_as_delivery(notification))
+            return ledgers
+
+        ledgers = asyncio.run(clock.drive(scenario()))
+        for pending, delivered, dropped in ledgers:
+            assert pending == delivered + dropped
+        assert guarded.breaker_state is BreakerState.OPEN

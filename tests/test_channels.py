@@ -1,0 +1,649 @@
+"""Multi-channel delivery (ISSUE 9): the Channel abstraction end to end.
+
+Unit layers first (cost curves, latency, registry, ChannelSet), then the
+kernel seam (merge_channel_rows), then the runtime contracts: the
+single-passthrough configuration must reduce *bit-identically* to the
+legacy push-only path, multichannel rounds price energy on wire bytes
+while debiting billed bytes per channel, shared cell pools couple users
+by service order, correlated cell outages dark whole towers, and the
+service layer routes, spills and rate-limits per channel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.budgets import DataBudget, EnergyBudget
+from repro.core.channels import (
+    Channel,
+    ChannelCostCurve,
+    ChannelLatency,
+    ChannelSet,
+    builtin_channel,
+    default_channel_set,
+    register_channel,
+    registered_channels,
+)
+from repro.core.content import (
+    ContentItem,
+    ContentKind,
+    Presentation,
+    PresentationLadder,
+)
+from repro.core.presentations import build_audio_ladder
+from repro.core.utility import CombinedUtilityModel, ExponentialAging
+from repro.pubsub.broker import BreakerState, CircuitBreakerConfig
+from repro.pubsub.capacity import CellTopology, SharedCellCapacity
+from repro.runtime import kernels, registry
+from repro.runtime.loop import RoundLoop
+from repro.runtime.types import Delivery
+from repro.service import (
+    DegradationConfig,
+    GuardedSink,
+    PressureLevel,
+    RateLimitConfig,
+    SimulatedClock,
+    SinkPolicy,
+    TieredRateLimiter,
+)
+from repro.service.degrade import ChannelDegradationLadder
+from repro.service.sinks import ChannelSinkRouter
+from repro.sim.battery import BatterySample, BatteryTrace
+from repro.sim.device import MobileDevice
+from repro.sim.faults import (
+    CellCorrelatedConnectivity,
+    CellOutage,
+    CellOutageSchedule,
+)
+from repro.sim.network import CellularOnlyNetwork
+
+LADDER = build_audio_ladder()
+
+
+def item(item_id, user_id=1, created_at=0.0, utility=0.8):
+    return ContentItem(
+        item_id=item_id,
+        user_id=user_id,
+        kind=ContentKind.FRIEND_FEED,
+        created_at=created_at,
+        ladder=LADDER,
+        content_utility=utility,
+    )
+
+
+def make_loop(
+    user_id=1,
+    theta=500_000.0,
+    kappa=3_000.0,
+    channels=None,
+    shared_capacity=None,
+):
+    return RoundLoop(
+        MobileDevice(
+            user_id=user_id,
+            network=CellularOnlyNetwork(),
+            battery=BatteryTrace([BatterySample(0.0, 0.9, charging=True)]),
+        ),
+        DataBudget(theta_bytes=theta),
+        EnergyBudget(kappa_joules=kappa),
+        CombinedUtilityModel(),
+        policy=registry.create("richnote"),
+        channels=channels,
+        shared_capacity=shared_capacity,
+    )
+
+
+class TestCostCurve:
+    def test_identity_is_the_papers_accounting(self):
+        curve = ChannelCostCurve()
+        assert curve.is_identity
+        assert curve.billed_bytes(12_345) == 12_345
+
+    def test_billed_formula_and_zero_payload(self):
+        curve = ChannelCostCurve(per_byte=0.5, overhead_bytes=256)
+        assert not curve.is_identity
+        assert curve.billed_bytes(600) == 300 + 256
+        # Level 0 (not sent) never bills the envelope.
+        assert curve.billed_bytes(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelCostCurve(per_byte=-0.1)
+        with pytest.raises(ValueError):
+            ChannelCostCurve(overhead_bytes=-1)
+        with pytest.raises(ValueError):
+            ChannelCostCurve().billed_bytes(-1)
+
+
+class TestLatency:
+    def test_base_plus_throughput(self):
+        latency = ChannelLatency(base_seconds=2.0, bytes_per_second=1_000.0)
+        assert latency.latency_seconds(3_000) == pytest.approx(5.0)
+        assert ChannelLatency(base_seconds=0.5).latency_seconds(10**6) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelLatency(base_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ChannelLatency(bytes_per_second=0.0)
+
+
+class TestChannel:
+    def test_push_is_passthrough(self):
+        push = builtin_channel("push")
+        assert push.is_passthrough
+        assert push.ladder_for(item(1)) is LADDER
+        assert push.wire_size(item(1), 2) == LADDER.size(2)
+        assert push.billed_size(item(1), 2) == LADDER.size(2)
+
+    def test_ladder_override_reprices_and_rerenders(self):
+        inapp = builtin_channel("inapp")
+        assert not inapp.is_passthrough
+        assert inapp.wire_size(item(1), 1) == 600
+        assert inapp.billed_size(item(1), 1) == 300 + 256
+        assert inapp.max_level(item(1)) == 2
+
+    def test_utility_uses_channel_ladder_and_decay(self):
+        inapp = builtin_channel("inapp")
+        model = CombinedUtilityModel(aging=ExponentialAging())
+        fresh = inapp.utility(model, item(1, utility=0.8), 1, now=0.0)
+        assert fresh == pytest.approx(0.8 * 0.25)
+        aged = inapp.utility(model, item(1, utility=0.8), 1, now=6 * 3600.0)
+        assert 0.0 < aged < fresh
+
+    def test_passthrough_utility_matches_model(self):
+        push = builtin_channel("push")
+        model = CombinedUtilityModel()
+        it = item(1)
+        assert push.utility(model, it, 3, now=100.0) == model.utility(
+            it, 3, 100.0
+        )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"push", "inapp", "email", "messenger"} <= set(
+            registered_channels()
+        )
+        assert builtin_channel("email").cell_coupled is False
+        assert builtin_channel("push").cell_coupled is True
+
+    def test_register_rejects_duplicates_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_channel("push", lambda: builtin_channel("push"))
+
+    def test_factory_name_mismatch_rejected(self):
+        register_channel(
+            "test-mismatch", lambda: builtin_channel("push"), replace=True
+        )
+        with pytest.raises(ValueError, match="named"):
+            builtin_channel("test-mismatch")
+
+    def test_unknown_channel_names_the_registry(self):
+        with pytest.raises(KeyError, match="unknown channel"):
+            builtin_channel("carrier-pigeon")
+
+
+class TestChannelSet:
+    def test_primary_order_and_lookup(self):
+        channels = ChannelSet(
+            [builtin_channel("push"), builtin_channel("inapp")]
+        )
+        assert channels.primary.name == "push"
+        assert channels.names == ("push", "inapp")
+        assert channels.get("inapp").name == "inapp"
+        assert channels.get_or_primary("nope").name == "push"
+        assert "inapp" in channels and "email" not in channels
+        assert len(channels) == 2
+
+    def test_single_passthrough_detection(self):
+        assert default_channel_set().is_single_passthrough
+        assert not ChannelSet(
+            [builtin_channel("inapp")]
+        ).is_single_passthrough
+        assert not ChannelSet(
+            [builtin_channel("push"), builtin_channel("inapp")]
+        ).is_single_passthrough
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ChannelSet([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ChannelSet([builtin_channel("push"), builtin_channel("push")])
+        with pytest.raises(KeyError, match="unknown channel"):
+            default_channel_set().get("inapp")
+
+
+class TestMergeChannelRows:
+    def test_merged_row_strictly_increasing_with_backmap(self):
+        sizes, profits, backmap = kernels.merge_channel_rows(
+            [[0, 200, 1_000], [0, 556]],
+            [[0.0, 0.1, 0.9], [0.0, 0.4]],
+        )
+        assert sizes == [0, 200, 556, 1_000]
+        assert profits == [0.0, 0.1, 0.4, 0.9]
+        assert backmap == [(0, 0), (0, 1), (1, 1), (0, 2)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_equal_size_tie_keeps_highest_profit(self):
+        sizes, profits, backmap = kernels.merge_channel_rows(
+            [[0, 500], [0, 500]],
+            [[0.0, 0.2], [0.0, 0.7]],
+        )
+        assert sizes == [0, 500]
+        assert profits == [0.0, 0.7]
+        assert backmap == [(0, 0), (1, 1)]
+
+    def test_zero_size_choice_is_dropped(self):
+        sizes, profits, backmap = kernels.merge_channel_rows(
+            [[0, 0, 300]],
+            [[0.0, 0.5, 0.8]],
+        )
+        assert sizes == [0, 300]
+        assert backmap == [(0, 0), (0, 2)]
+
+
+class TestSinglePushParity:
+    """The tentpole contract: one passthrough channel == the legacy path."""
+
+    def _run(self, channels):
+        loop = make_loop(channels=channels)
+        for item_id in range(6):
+            loop.enqueue(item(item_id, created_at=item_id * 60.0))
+        deliveries = []
+        for round_index in range(1, 4):
+            result = loop.run_round(
+                now=round_index * 900.0, round_seconds=900.0
+            )
+            deliveries.extend(result.deliveries)
+        return loop, deliveries
+
+    def test_default_channel_set_is_bit_identical_to_none(self):
+        _, legacy = self._run(channels=None)
+        _, single = self._run(channels=default_channel_set())
+        assert legacy, "the scenario must actually deliver"
+        assert [
+            (d.time, d.item.item_id, d.level, d.size_bytes,
+             d.energy_joules, d.utility, d.channel)
+            for d in legacy
+        ] == [
+            (d.time, d.item.item_id, d.level, d.size_bytes,
+             d.energy_joules, d.utility, d.channel)
+            for d in single
+        ]
+        assert all(d.channel == "push" for d in single)
+
+    def test_single_passthrough_skips_per_channel_ledger(self):
+        loop, deliveries = self._run(channels=default_channel_set())
+        assert deliveries
+        # Identity pricing: total drain equals the wire bytes delivered.
+        drained = sum(
+            loop.data_budget.per_channel_bytes.values()
+        ) or sum(d.size_bytes for d in deliveries)
+        assert drained == pytest.approx(
+            sum(d.size_bytes for d in deliveries)
+        )
+
+
+class TestMultichannelLoop:
+    CHANNELS = ChannelSet([builtin_channel("push"), builtin_channel("inapp")])
+
+    def _run(self, theta=2_000.0, rounds=3, items=5):
+        loop = make_loop(theta=theta, channels=self.CHANNELS)
+        for item_id in range(items):
+            loop.enqueue(item(item_id))
+        deliveries = []
+        for round_index in range(1, rounds + 1):
+            result = loop.run_round(
+                now=round_index * 900.0, round_seconds=900.0
+            )
+            deliveries.extend(result.deliveries)
+        return loop, deliveries
+
+    def test_joint_selection_routes_over_both_channels(self):
+        loop, deliveries = self._run()
+        assert deliveries
+        names = {d.channel for d in deliveries}
+        assert names <= {"push", "inapp"}
+        # The in-app card (0.25 utility for 556 billed bytes) dominates
+        # the 200-byte push metadata (0.01 utility) on the merged hull.
+        assert "inapp" in names
+
+    def test_wire_vs_billed_accounting(self):
+        loop, deliveries = self._run()
+        billed = {}
+        for d in deliveries:
+            channel = self.CHANNELS.get(d.channel)
+            assert d.size_bytes == channel.wire_size(d.item, d.level)
+            billed[d.channel] = billed.get(d.channel, 0.0) + channel.cost.billed_bytes(d.size_bytes)
+        for name, total in billed.items():
+            assert loop.data_budget.per_channel_bytes[name] == pytest.approx(
+                total
+            )
+
+    def test_selection_respects_budget_in_billed_bytes(self):
+        # One round, budget below the cheapest inapp card but above the
+        # push metadata: only push choices are affordable.
+        loop = make_loop(theta=400.0, channels=self.CHANNELS)
+        for item_id in range(3):
+            loop.enqueue(item(item_id))
+        result = loop.run_round(now=900.0, round_seconds=900.0)
+        assert all(d.channel == "push" for d in result.deliveries)
+
+
+class TestSharedCapacityCoupling:
+    def test_first_user_drains_pool_for_the_second(self):
+        topology = CellTopology(cell_of={1: 0, 2: 0})
+        pool = SharedCellCapacity(topology, bytes_per_round=250_000.0)
+        loops = {
+            user_id: make_loop(user_id=user_id, shared_capacity=pool)
+            for user_id in (1, 2)
+        }
+        for user_id, loop in loops.items():
+            for item_id in range(4):
+                loop.enqueue(item(item_id, user_id=user_id))
+        pool.begin_round()
+        first = loops[1].run_round(now=900.0, round_seconds=900.0)
+        second = loops[2].run_round(now=900.0, round_seconds=900.0)
+        first_bytes = sum(d.size_bytes for d in first.deliveries)
+        second_bytes = sum(d.size_bytes for d in second.deliveries)
+        assert first_bytes > 0
+        # User 1 ran first and drained the tower; user 2's grant clamps.
+        assert second_bytes < first_bytes
+        stats = pool.stats[0]
+        assert stats.consumed_bytes <= stats.granted_bytes
+        assert stats.granted_bytes <= stats.requested_bytes
+        assert stats.contended_grants >= 1
+        assert stats.denied_bytes > 0
+
+    def test_begin_round_refills(self):
+        topology = CellTopology(cell_of={1: 0})
+        pool = SharedCellCapacity(topology, bytes_per_round=1_000.0)
+        assert pool.grant(1, 800.0) == 800.0
+        pool.consume(1, 800.0)
+        assert pool.remaining(0) == pytest.approx(200.0)
+        pool.begin_round()
+        assert pool.remaining(0) == pytest.approx(1_000.0)
+
+    def test_uncoupled_cells_do_not_interact(self):
+        topology = CellTopology(cell_of={1: 0, 2: 1})
+        pool = SharedCellCapacity(topology, bytes_per_round=1_000.0)
+        pool.consume(1, 1_000.0)
+        assert pool.grant(2, 600.0) == 600.0
+
+
+class TestCellOutage:
+    def test_whole_cell_goes_dark_together(self):
+        schedule = CellOutageSchedule(
+            [CellOutage(cell=0, first_round=1, rounds=1)]
+        )
+        connected = {}
+        for user_id in (1, 2):
+            loop = RoundLoop(
+                MobileDevice(
+                    user_id=user_id,
+                    network=CellCorrelatedConnectivity(
+                        CellularOnlyNetwork(), cell=0, schedule=schedule
+                    ),
+                    battery=BatteryTrace(
+                        [BatterySample(0.0, 0.9, charging=True)]
+                    ),
+                ),
+                DataBudget(theta_bytes=500_000.0),
+                EnergyBudget(kappa_joules=3_000.0),
+                CombinedUtilityModel(),
+                policy=registry.create("richnote"),
+            )
+            loop.enqueue(item(1, user_id=user_id))
+            connected[user_id] = [
+                loop.run_round(now=k * 900.0, round_seconds=900.0).connected
+                for k in range(1, 4)
+            ]
+        assert connected[1] == [True, False, True]
+        assert connected[2] == [True, False, True]
+
+    def test_other_cells_unaffected(self):
+        schedule = CellOutageSchedule(
+            [CellOutage(cell=0, first_round=0, rounds=10)]
+        )
+        network = CellCorrelatedConnectivity(
+            CellularOnlyNetwork(), cell=1, schedule=schedule
+        )
+        network.step()
+        assert network.connected
+
+
+def _delivery(item_id=0, channel="push"):
+    return Delivery(
+        time=0.0,
+        user_id=1,
+        item=item(item_id),
+        level=1,
+        size_bytes=1_000,
+        energy_joules=1.0,
+        utility=0.5,
+        channel=channel,
+    )
+
+
+def _drive(clock, awaitable):
+    return asyncio.run(clock.drive(awaitable))
+
+
+class TestChannelSinkRouter:
+    def _router(self, clock, behaviours, spill=None):
+        router = ChannelSinkRouter(spill=spill)
+        for name, sink in behaviours.items():
+            router.register(
+                name,
+                GuardedSink(
+                    sink,
+                    clock=clock,
+                    rng=random.Random(3),
+                    policy=SinkPolicy(max_attempts=1),
+                    breaker=CircuitBreakerConfig(failure_threshold=1),
+                    name=name,
+                ),
+            )
+        return router
+
+    def test_routes_by_delivery_channel(self):
+        clock = SimulatedClock()
+        seen = {"push": [], "inapp": []}
+        router = self._router(
+            clock,
+            {
+                "push": lambda d: seen["push"].append(d),
+                "inapp": lambda d: seen["inapp"].append(d),
+            },
+        )
+        assert _drive(clock, router.deliver(_delivery(1, "inapp")))
+        assert _drive(clock, router.deliver(_delivery(2, "push")))
+        assert [d.item.item_id for d in seen["inapp"]] == [1]
+        assert [d.item.item_id for d in seen["push"]] == [2]
+        assert router.router_stats.routed == {"push": 1, "inapp": 1}
+
+    def test_failed_channel_spills_to_relief_channel(self):
+        clock = SimulatedClock()
+        landed = []
+
+        def down(_delivery):
+            raise RuntimeError("push gateway down")
+
+        router = self._router(
+            clock,
+            {"push": down, "inapp": landed.append},
+            spill={"push": "inapp"},
+        )
+        assert _drive(clock, router.deliver(_delivery(7, "push")))
+        assert len(landed) == 1
+        assert router.router_stats.spilled == {"push->inapp": 1}
+
+    def test_unroutable_and_duplicate_registration(self):
+        clock = SimulatedClock()
+        router = self._router(clock, {"push": lambda d: None})
+        assert not _drive(clock, router.deliver(_delivery(1, "email")))
+        assert router.router_stats.unroutable == 1
+        with pytest.raises(ValueError, match="already"):
+            router.register(
+                "push",
+                GuardedSink(
+                    lambda d: None, clock=clock, rng=random.Random(3)
+                ),
+            )
+
+    def test_breaker_state_is_most_severe(self):
+        clock = SimulatedClock()
+
+        def down(_delivery):
+            raise RuntimeError("down")
+
+        router = self._router(
+            clock, {"push": down, "inapp": lambda d: None}
+        )
+        assert router.breaker_state is BreakerState.CLOSED
+        _drive(clock, router.deliver(_delivery(1, "push")))
+        assert router.sink_for("push").breaker_state is BreakerState.OPEN
+        assert router.breaker_state is BreakerState.OPEN
+        # Aggregate stats sum the members.
+        assert router.stats.failures == 1
+
+
+class TestChannelDegradationLadder:
+    CONFIG = DegradationConfig()
+
+    def _ladder(self):
+        return ChannelDegradationLadder(
+            ["push", "inapp"], config=self.CONFIG, spill={"push": "inapp"}
+        )
+
+    def test_pressured_push_spills_to_calm_inapp(self):
+        ladder = self._ladder()
+        ladder.update("push", now=0.0, occupancy=0.95)
+        ladder.update("inapp", now=0.0, occupancy=0.1)
+        assert ladder.level("push") is PressureLevel.SHED
+        assert ladder.route("push") == "inapp"
+        # Shedding is decided post-routing: the relief channel is calm.
+        assert not ladder.sheds_ingest("push")
+
+    def test_no_spill_onto_equally_pressured_channel(self):
+        ladder = self._ladder()
+        ladder.update("push", now=0.0, occupancy=0.95)
+        ladder.update("inapp", now=0.0, occupancy=0.95)
+        assert ladder.route("push") == "push"
+        assert ladder.sheds_ingest("push")
+
+    def test_calm_channel_does_not_route_away(self):
+        ladder = self._ladder()
+        ladder.update("push", now=0.0, occupancy=0.1)
+        ladder.update("inapp", now=0.0, occupancy=0.0)
+        assert ladder.route("push") == "push"
+
+    def test_spill_edges_validated(self):
+        with pytest.raises(ValueError):
+            ChannelDegradationLadder(
+                ["push"], spill={"push": "carrier-pigeon"}
+            )
+        with pytest.raises(ValueError):
+            ChannelDegradationLadder([])
+
+
+class TestPerChannelRateLimit:
+    def test_channel_tier_engages_only_when_configured(self):
+        limiter = TieredRateLimiter(
+            RateLimitConfig(per_channel_rate=1.0, per_channel_burst=1.0)
+        )
+        assert limiter.allow(
+            0.0, user_id=1, kind="friend", channel="push"
+        ).allowed
+        denied = limiter.allow(0.0, user_id=2, kind="friend", channel="push")
+        assert not denied.allowed
+        assert denied.tier == "channel"
+        # A different channel has its own bucket.
+        assert limiter.allow(
+            0.0, user_id=3, kind="friend", channel="inapp"
+        ).allowed
+        assert limiter.denials["channel"] == 1
+
+    def test_no_channel_argument_bypasses_the_tier(self):
+        limiter = TieredRateLimiter(
+            RateLimitConfig(per_channel_rate=1.0, per_channel_burst=1.0)
+        )
+        for user_id in range(5):
+            assert limiter.allow(0.0, user_id=user_id, kind="friend").allowed
+        assert limiter.denials["channel"] == 0
+
+
+class TestColumnarChannelCodes:
+    def _engine(self, channels):
+        from repro.experiments.columnar import build_cohort
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import (
+            UtilityAnnotations,
+            _device_stream_seed,
+        )
+        from repro.runtime.columnar import (
+            ColumnarEngine,
+            build_device_columns,
+            round_times,
+        )
+        from repro.trace.generator import TraceConfig, iter_users
+
+        trace = TraceConfig(seed=31, duration_hours=24.0)
+        pairs = [(u, r) for u, r in iter_users(12, trace) if r]
+        annotations = UtilityAnnotations(
+            scores={
+                r.notification_id: (0.9 if r.clicked else 0.1)
+                for _, rs in pairs
+                for r in rs
+            }
+        )
+        config = ExperimentConfig(seed=31)
+        duration = trace.duration_hours * 3600.0
+        columns = build_cohort(
+            pairs, annotations, build_audio_ladder(config.presentation_spec)
+        )
+        times = round_times(config.round_seconds, duration)
+        device = build_device_columns(
+            [_device_stream_seed(config.seed, u) for u in columns.user_ids],
+            times,
+            config.round_seconds,
+            duration,
+            config.kappa_joules_per_round,
+        )
+        return ColumnarEngine(
+            columns.cohort,
+            device,
+            registry.create("richnote"),
+            theta_bytes=config.theta_bytes_per_round,
+            kappa_joules=config.kappa_joules_per_round,
+            round_seconds=config.round_seconds,
+            duration_seconds=duration,
+            channels=channels,
+        )
+
+    def test_legacy_path_emits_all_push_codes(self):
+        result = self._engine(channels=None).run()
+        assert result.channel_names == ("push",)
+        assert result.channel_codes is not None
+        for codes, deliveries in zip(
+            result.channel_codes, result.deliveries
+        ):
+            assert len(codes) == len(deliveries)
+            assert all(code == 0 for code in codes)
+
+    def test_multichannel_codes_index_the_channel_names(self):
+        channels = ChannelSet(
+            [builtin_channel("push"), builtin_channel("inapp")]
+        )
+        result = self._engine(channels=channels).run()
+        assert result.channel_names == ("push", "inapp")
+        flat = [
+            code for codes in result.channel_codes for code in codes
+        ]
+        assert flat, "the cohort must deliver something"
+        assert set(flat) <= {0, 1}
+        assert 1 in flat, "joint selection should route onto in-app"

@@ -86,36 +86,20 @@ class TestDeprecationWarnings:
         with pytest.warns(DeprecationWarning, match="registry.create"):
             getattr(baselines, name)(fixed_level=2, **make_kwargs())
 
-    def test_experiments_parallel_shim_warns_and_forwards(self, monkeypatch):
-        """``experiments.parallel`` is a shim over ``pool`` (ISSUE 8)."""
-        from repro.experiments import parallel
+    def test_experiments_parallel_shim_is_gone(self):
+        """The ``experiments.parallel`` shim finished its deprecation
+        cycle (introduced in ISSUE 8, removed in ISSUE 9); the canonical
+        import is :func:`repro.experiments.pool.run_experiment_parallel`.
+        """
+        with pytest.raises(ModuleNotFoundError):
+            import repro.experiments.parallel  # noqa: F401
 
-        calls = []
+        from repro.experiments import run_experiment_parallel
+        from repro.experiments.pool import (
+            run_experiment_parallel as canonical,
+        )
 
-        def fake(workload, spec, config, **kwargs):
-            calls.append((workload, spec, config, kwargs))
-            return "forwarded"
-
-        monkeypatch.setattr(parallel, "_run_experiment_parallel", fake)
-        with pytest.warns(
-            DeprecationWarning, match="repro.experiments.pool"
-        ):
-            result = parallel.run_experiment_parallel(
-                "workload", "spec", "config", user_ids=[1, 2], max_workers=3
-            )
-        assert result == "forwarded"
-        assert calls == [
-            (
-                "workload",
-                "spec",
-                "config",
-                {
-                    "annotations": None,
-                    "user_ids": [1, 2],
-                    "max_workers": 3,
-                },
-            )
-        ]
+        assert run_experiment_parallel is canonical
 
     def test_extension_seams_do_not_warn(self):
         from repro.core.baselines import FixedLevelScheduler

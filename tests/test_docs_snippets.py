@@ -14,8 +14,8 @@ def python_blocks() -> list[str]:
 
 
 class TestExtendingDoc:
-    def test_has_eleven_walkthroughs(self):
-        assert len(python_blocks()) == 11
+    def test_has_twelve_walkthroughs(self):
+        assert len(python_blocks()) == 12
 
     @pytest.mark.parametrize(
         "index,block",

@@ -76,6 +76,7 @@ FIXTURE_FILES = [
 # Negative fixtures: the flow-aware rules must stay silent on the
 # idiomatic version of each anti-pattern.
 OK_FIXTURES = [
+    "core/channels.py",
     "r701_blocking_async_ok.py",
     "r702_unawaited_coroutine_ok.py",
     "r703_fire_and_forget_ok.py",

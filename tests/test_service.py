@@ -202,7 +202,12 @@ class TestTieredRateLimiter:
         denied = limiter.allow(0.0, 1, ContentKind.FRIEND_FEED)
         assert not denied.allowed
         assert denied.tier == "user"
-        assert limiter.denials == {"global": 0, "user": 1, "topic": 0}
+        assert limiter.denials == {
+            "global": 0,
+            "user": 1,
+            "topic": 0,
+            "channel": 0,
+        }
         # Another user has their own bucket.
         assert limiter.allow(0.0, 2, ContentKind.FRIEND_FEED).allowed
 
