@@ -65,9 +65,13 @@ bench-sweep:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_sweep.py -q -rs -s
 
 # Population-scale gates (columnar/scalar digest parity in-bench, >=5x
-# columnar speedup at the 10k-user point); writes BENCH_scalability.json
-# at the repo root. Tune with BENCH_SCALE_USERS=10000,100000 (CI smoke
-# uses a small count), BENCH_SCALE_1M=1 opts into the million-user leg.
+# columnar speedup at the 10k-user point, plus the schema-/2 scenarios:
+# >=1.8x multi-core shard-parallel on >=2-core hosts and >=3x batched
+# multichannel kernels); writes BENCH_scalability.json at the repo root.
+# Tune with BENCH_SCALE_USERS=10000,100000 (CI smoke uses a small
+# count), BENCH_SCALE_WORKERS=N (multi-core scenario worker count),
+# BENCH_SCALE_MC_SAMPLE=N (multichannel sample, 0 disables),
+# BENCH_SCALE_1M=1 opts into the million-user leg.
 bench-scale:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_scalability.py::test_bench_scale_curve -q -rs -s

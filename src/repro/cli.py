@@ -233,6 +233,14 @@ def cmd_bench_scale(args: argparse.Namespace) -> int:
         scalar_sample=args.scalar_sample,
         parity_sample=args.parity_sample,
         chunk_users=args.chunk_users,
+        workers=args.workers,
+        multichannel_sample=args.multichannel_sample,
+        profile_dir=args.profile or None,
+    )
+    meta = payload["meta"]
+    print(
+        f"cores: {meta['cores_used']} used / {meta['cores_available']} "
+        f"available (affinity-aware)"
     )
     for point in payload["curve"]:
         print(
@@ -243,6 +251,25 @@ def cmd_bench_scale(args: argparse.Namespace) -> int:
             f"-> {point['speedup']:.1f}x "
             f"(parity checked on {point['parity_checked_users']} users)"
         )
+        multi = point.get("multi_core")
+        if multi:
+            print(
+                f"          multi-core x{multi['workers']}: "
+                f"{multi['single_core_wall_s']:.2f}s -> "
+                f"{multi['multi_core_wall_s']:.2f}s "
+                f"({multi['speedup_vs_single_core']:.2f}x, digests on "
+                f"{multi['digest_parity_users']} users)"
+            )
+        mc = point.get("multichannel")
+        if mc:
+            print(
+                f"          multichannel ({mc['sampled_users']} users): "
+                f"{mc['kernel_path']} {mc['batched_wall_s']:.2f}s vs "
+                f"{mc['fallback_path']} {mc['adapter_wall_s']:.2f}s "
+                f"-> {mc['speedup']:.1f}x"
+            )
+    for path in meta.get("profile_pstats", []):
+        print(f"profiled: {path}")
     if args.out:
         write_scale_report(args.out, payload)
         print(f"wrote {args.out}")
@@ -471,6 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_scale.add_argument(
         "--chunk-users", type=int, default=20_000, dest="chunk_users",
         help="cohort chunk size bounding peak memory",
+    )
+    bench_scale.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the multi-core scenario (default: "
+             "affinity-aware core count; < 2 skips the scenario)",
+    )
+    bench_scale.add_argument(
+        "--multichannel-sample", type=int, default=1000,
+        dest="multichannel_sample",
+        help="users in the multichannel batched-vs-adapter scenario "
+             "(0 disables it)",
+    )
+    bench_scale.add_argument(
+        "--profile", default="",
+        help="dump per-phase cProfile .pstats files (cohort build / "
+             "rounds / merge) into this directory",
     )
     bench_scale.add_argument(
         "--out", default="",

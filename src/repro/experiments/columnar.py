@@ -60,6 +60,8 @@ from repro.trace.records import NotificationRecord
 __all__ = [
     "CohortColumns",
     "build_cohort",
+    "fold_outcomes",
+    "make_engine",
     "run_cohort",
     "run_experiment_columnar",
     "run_users_columnar",
@@ -149,32 +151,31 @@ def build_cohort(
     )
 
 
-def run_cohort(
+def make_engine(
     columns: CohortColumns,
     spec: MethodSpec,
     config: ExperimentConfig,
     duration_seconds: float,
-    digest_deliveries: bool = False,
-) -> list[UserRunOutcome]:
-    """Run one (method, config) cell over a built cohort.
+    *,
+    channels=None,
+    utility_model: CombinedUtilityModel | None = None,
+) -> ColumnarEngine:
+    """Build the :class:`ColumnarEngine` one cell's ``run_cohort`` would run.
 
-    Returns one :class:`UserRunOutcome` per cohort user, in cohort order,
-    bit-identical to calling :func:`repro.experiments.runner.run_user`
-    per user.
+    Exposed separately so benches and the shard-parallel path can time
+    cohort construction apart from the round loop (and resume runs via
+    ``engine.run(limit_rounds=...)``).  ``channels`` configures
+    multi-channel delivery; ``utility_model`` overrides the config-derived
+    model (benches use a subclass to force the adapter path).
     """
-    if not supports(config):
-        raise ValueError(
-            "columnar execution supports the paper-default pipeline only "
-            "(no fault injection, no multi-feed cadences); use the scalar "
-            "runner for this config"
-        )
     cohort = columns.cohort
-    aging = (
-        ExponentialAging(config.aging_tau_seconds)
-        if config.aging_tau_seconds
-        else None
-    )
-    utility_model = CombinedUtilityModel(aging=aging)
+    if utility_model is None:
+        aging = (
+            ExponentialAging(config.aging_tau_seconds)
+            if config.aging_tau_seconds
+            else None
+        )
+        utility_model = CombinedUtilityModel(aging=aging)
     policy = registry.create(spec.policy_name, **spec.policy_params(config))
     if cohort.items is None and needs_item_objects(policy, utility_model):
         raise ValueError(
@@ -190,7 +191,7 @@ def run_cohort(
         config.kappa_joules_per_round,
         markov=config.network_mode is NetworkMode.MARKOV,
     )
-    engine = ColumnarEngine(
+    return ColumnarEngine(
         cohort,
         device,
         policy,
@@ -200,14 +201,31 @@ def run_cohort(
         round_seconds=config.round_seconds,
         duration_seconds=duration_seconds,
         expected_batch=config.expected_batch,
+        channels=channels,
     )
-    result = engine.run()
 
+
+def fold_outcomes(
+    columns: CohortColumns,
+    result,
+    digest_deliveries: bool = False,
+) -> list[UserRunOutcome]:
+    """Fold engine outcome columns back into per-user ``UserRunOutcome``s.
+
+    Materializes real :class:`~repro.runtime.types.Delivery` objects for
+    delivered items only and reuses the scalar metric/digest functions, so
+    the arithmetic cannot drift from the scalar path.  Multichannel runs
+    stamp each delivery with its transport name from the engine's parallel
+    channel-code column.
+    """
     outcomes: list[UserRunOutcome] = []
-    offsets = cohort.offsets
+    offsets = columns.cohort.offsets
+    names = result.channel_names
+    multichannel = len(names) > 1
     for index, user_id in enumerate(columns.user_ids):
         records = columns.records[index]
         base = int(offsets[index])
+        codes = result.channel_codes[index] if multichannel else None
         deliveries = [
             Delivery(
                 time=time,
@@ -217,10 +235,11 @@ def run_cohort(
                 size_bytes=size,
                 energy_joules=share,
                 utility=utility,
+                channel=names[codes[position]] if multichannel else "push",
             )
-            for time, flat, level, size, share, utility in result.deliveries[
-                index
-            ]
+            for position, (time, flat, level, size, share, utility) in (
+                enumerate(result.deliveries[index])
+            )
         ]
         outcomes.append(
             UserRunOutcome(
@@ -237,6 +256,40 @@ def run_cohort(
     return outcomes
 
 
+def run_cohort(
+    columns: CohortColumns,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    duration_seconds: float,
+    digest_deliveries: bool = False,
+    *,
+    channels=None,
+    utility_model: CombinedUtilityModel | None = None,
+) -> list[UserRunOutcome]:
+    """Run one (method, config) cell over a built cohort.
+
+    Returns one :class:`UserRunOutcome` per cohort user, in cohort order,
+    bit-identical to calling :func:`repro.experiments.runner.run_user`
+    per user.
+    """
+    if not supports(config):
+        raise ValueError(
+            "columnar execution supports the paper-default pipeline only "
+            "(no fault injection, no multi-feed cadences); use the scalar "
+            "runner for this config"
+        )
+    engine = make_engine(
+        columns,
+        spec,
+        config,
+        duration_seconds,
+        channels=channels,
+        utility_model=utility_model,
+    )
+    result = engine.run()
+    return fold_outcomes(columns, result, digest_deliveries)
+
+
 def run_users_columnar(
     user_records: Sequence[tuple[int, Sequence[NotificationRecord]]],
     spec: MethodSpec,
@@ -245,16 +298,20 @@ def run_users_columnar(
     duration_seconds: float,
     ladder=None,
     digest_deliveries: bool = False,
+    *,
+    channels=None,
+    utility_model: CombinedUtilityModel | None = None,
 ) -> list[UserRunOutcome]:
     """Columnar equivalent of per-user ``run_user`` over a user batch."""
     if ladder is None:
         ladder = build_audio_ladder(config.presentation_spec)
-    aging = (
-        ExponentialAging(config.aging_tau_seconds)
-        if config.aging_tau_seconds
-        else None
-    )
-    utility_model = CombinedUtilityModel(aging=aging)
+    if utility_model is None:
+        aging = (
+            ExponentialAging(config.aging_tau_seconds)
+            if config.aging_tau_seconds
+            else None
+        )
+        utility_model = CombinedUtilityModel(aging=aging)
     policy = registry.create(spec.policy_name, **spec.policy_params(config))
     columns = build_cohort(
         user_records,
@@ -268,6 +325,8 @@ def run_users_columnar(
         config,
         duration_seconds,
         digest_deliveries=digest_deliveries,
+        channels=channels,
+        utility_model=utility_model,
     )
 
 

@@ -43,7 +43,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.presentations import build_audio_ladder
+from repro.experiments.columnar import run_users_columnar, supports
 from repro.experiments.config import ExperimentConfig, MethodSpec
 from repro.experiments.metrics import FailureStats, MetricsAccumulator
 from repro.experiments.runner import (
@@ -65,9 +68,45 @@ from repro.trace.records import NotificationRecord
 
 __all__ = [
     "ExperimentPool",
+    "available_cores",
+    "oracle_scores",
     "run_experiment_parallel",
+    "run_store_columnar_parallel",
     "sweep_budgets_parallel",
 ]
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    Respects the scheduling affinity mask (containers and ``taskset``
+    commonly grant fewer cores than the machine has), falling back to
+    :func:`os.cpu_count` on platforms without ``sched_getaffinity``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or (os.cpu_count() or 1)
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def oracle_scores(
+    user_records: Sequence[tuple[int, Sequence[NotificationRecord]]],
+) -> dict[int, float]:
+    """Oracle content-utility annotations for a record batch.
+
+    The bench-standard labeling (clicked items are worth 0.9, the rest
+    0.1).  Pure per-record, so any partition of the same records produces
+    the same scores -- workers can derive their own slice locally instead
+    of receiving a population-wide map through the initializer.
+    """
+    scores: dict[int, float] = {}
+    for _, records in user_records:
+        for record in records:
+            scores[record.notification_id] = 0.9 if record.clicked else 0.1
+    return scores
 
 
 # -- worker side ---------------------------------------------------------------
@@ -80,21 +119,27 @@ class _WorkerState:
     initializer -- the default, no disk involved) or ``store_path`` (a
     columnar shard store the worker memory-maps on first use -- the
     initializer ships a path string, and record bytes reach the worker
-    via shared page cache instead of pickling).
+    via shared page cache instead of pickling).  ``scores`` may be
+    ``None`` on the store path: workers then derive the oracle scores for
+    their own record slice (:func:`oracle_scores`), so population-scale
+    benches ship no score map at all.
     """
 
     shards: dict[int, list[NotificationRecord]] | None
     store_path: str | None
-    scores: dict[int, float]
+    scores: dict[int, float] | None
     duration_seconds: float
     store: TraceShardStore | None = None
+
+    def ensure_store(self) -> TraceShardStore:
+        if self.store is None:
+            self.store = TraceShardStore(self.store_path)
+        return self.store
 
     def records_for(self, user_id: int) -> list[NotificationRecord]:
         if self.shards is not None:
             return self.shards[user_id]
-        if self.store is None:
-            self.store = TraceShardStore(self.store_path)
-        return self.store.records_for_user(user_id)
+        return self.ensure_store().records_for_user(user_id)
 
 
 _WORKER: _WorkerState | None = None
@@ -103,7 +148,7 @@ _WORKER: _WorkerState | None = None
 def _init_worker(
     shards: dict[int, list[NotificationRecord]] | None,
     store_path: str | None,
-    scores: dict[int, float],
+    scores: dict[int, float] | None,
     duration_seconds: float,
 ) -> None:
     """Pool initializer: receive the shared workload state exactly once."""
@@ -129,7 +174,14 @@ def _run_cell_batch(
             "worker not initialized; _run_cell_batch must run inside an "
             "ExperimentPool worker"
         )
-    annotations = UtilityAnnotations(scores=state.scores)
+    if state.scores is not None:
+        annotations = UtilityAnnotations(scores=state.scores)
+    else:
+        annotations = UtilityAnnotations(
+            scores=oracle_scores(
+                [(u, state.records_for(u)) for u in user_ids]
+            )
+        )
     ladder = build_audio_ladder(config.presentation_spec)
     return [
         run_user(
@@ -146,7 +198,178 @@ def _run_cell_batch(
     ]
 
 
+def _columnar_outcomes_for_range(
+    state: _WorkerState,
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    start: int,
+    stop: int,
+    digest_deliveries: bool,
+) -> list[UserRunOutcome]:
+    """One shard range ``[start, stop)`` of store positions, columnar.
+
+    Materializes the range's records from the memory-mapped store (the
+    only copying step), derives or adopts annotations, and runs one
+    :class:`~repro.runtime.columnar.ColumnarEngine` over the sub-cohort.
+    Per-user outcomes are independent of how the population is
+    partitioned (every kernel is row-independent and every user is seeded
+    by user id), so any range split folds back bit-identically.
+    """
+    store = state.ensure_store()
+    user_records = [
+        (int(store.user_ids[position]), store.records_at(position))
+        for position in range(start, stop)
+    ]
+    if state.scores is not None:
+        annotations = UtilityAnnotations(scores=state.scores)
+    else:
+        annotations = UtilityAnnotations(scores=oracle_scores(user_records))
+    return run_users_columnar(
+        user_records,
+        spec,
+        config,
+        annotations,
+        state.duration_seconds,
+        digest_deliveries=digest_deliveries,
+    )
+
+
+def _run_columnar_range(
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    start: int,
+    stop: int,
+    digest_deliveries: bool,
+) -> tuple[int, list[UserRunOutcome]]:
+    """Pool task: run one store-position range on the worker's shard store."""
+    state = _WORKER
+    if state is None:
+        raise RuntimeError(
+            "worker not initialized; _run_columnar_range must run inside an "
+            "ExperimentPool worker"
+        )
+    if state.store_path is None:
+        raise RuntimeError(
+            "columnar range tasks need a shard store; initialize the pool "
+            "with shard_store_dir"
+        )
+    return start, _columnar_outcomes_for_range(
+        state, spec, config, start, stop, digest_deliveries
+    )
+
+
 # -- parent side ---------------------------------------------------------------
+
+
+def _contiguous_ranges(
+    counts: Sequence[int] | np.ndarray, n_ranges: int
+) -> list[tuple[int, int]]:
+    """Split store positions into contiguous, record-balanced ranges.
+
+    ``counts[p]`` is the record count at store position ``p``.  Cuts land
+    at the record-mass quantiles, clamped so every range keeps at least
+    one position.  Contiguity matters twice: workers fault in disjoint
+    runs of the memory-mapped columns (no interleaved page sharing), and
+    the parent can restore canonical store order by sorting ranges on
+    their start position alone.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n_positions = len(counts)
+    if n_positions == 0:
+        return []
+    n_ranges = max(1, min(int(n_ranges), n_positions))
+    cumulative = np.cumsum(counts)
+    total = int(cumulative[-1])
+    bounds = [0]
+    for index in range(1, n_ranges):
+        target = total * index / n_ranges
+        cut = int(np.searchsorted(cumulative, target, side="left")) + 1
+        cut = max(cut, bounds[-1] + 1)
+        cut = min(cut, n_positions - (n_ranges - index))
+        bounds.append(cut)
+    bounds.append(n_positions)
+    return [
+        (bounds[index], bounds[index + 1]) for index in range(n_ranges)
+    ]
+
+
+def run_store_columnar_parallel(
+    store_path: "str | os.PathLike",
+    spec: MethodSpec,
+    config: ExperimentConfig,
+    duration_seconds: float,
+    *,
+    workers: int | None = None,
+    annotations: UtilityAnnotations | None = None,
+    digest_deliveries: bool = False,
+    ranges_per_worker: int = 4,
+) -> list[UserRunOutcome]:
+    """Shard-parallel columnar execution straight off a trace shard store.
+
+    Partitions the store's user positions into contiguous record-balanced
+    ranges, runs each range through a per-shard
+    :class:`~repro.runtime.columnar.ColumnarEngine` on a worker pool (the
+    initializer ships the store *path* and tasks ship position ranges --
+    never pickled records; workers read the memory-mapped columns through
+    the shared page cache), and folds per-range outcomes back in
+    ascending range-start order.  The fold is order-stable: outcomes are
+    concatenated in canonical store order regardless of completion order,
+    so the returned list -- including per-user delivery digests -- is
+    bit-identical to ``workers=1``, which runs the same range code
+    in-process.
+
+    ``annotations=None`` ships no score map at all; each worker derives
+    :func:`oracle_scores` for its own slice.
+    """
+    if not supports(config):
+        raise ValueError(
+            "columnar execution supports the paper-default pipeline only "
+            "(no fault injection, no multi-feed cadences)"
+        )
+    workers = workers if workers is not None else available_cores()
+    store_path = str(store_path)
+    with TraceShardStore(store_path) as store:
+        counts = np.diff(store.offsets)
+        n_users = store.n_users
+    if n_users == 0:
+        raise ValueError(f"{store_path}: shard store holds no users")
+    scores = annotations.scores if annotations is not None else None
+    if workers <= 1:
+        state = _WorkerState(
+            shards=None,
+            store_path=store_path,
+            scores=scores,
+            duration_seconds=duration_seconds,
+        )
+        try:
+            return _columnar_outcomes_for_range(
+                state, spec, config, 0, n_users, digest_deliveries
+            )
+        finally:
+            if state.store is not None:
+                state.store.close()
+    ranges = _contiguous_ranges(counts, workers * ranges_per_worker)
+    parts: dict[int, list[UserRunOutcome]] = {}
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(None, store_path, scores, duration_seconds),
+    ) as executor:
+        futures = [
+            executor.submit(
+                _run_columnar_range, spec, config, start, stop,
+                digest_deliveries,
+            )
+            for start, stop in ranges
+        ]
+        for future in futures:
+            start, outcomes = future.result()
+            parts[start] = outcomes
+    merged: list[UserRunOutcome] = []
+    for start in sorted(parts):
+        merged.extend(parts[start])
+    return merged
+
 
 class _CellState:
     """Order-correcting streamed fold of one cell's batch results.
@@ -258,7 +481,7 @@ class ExperimentPool:
                 raise ValueError("no users with notifications to simulate")
             shards = {u: by_user[u] for u in self.sim_users}
             counts = {u: len(shards[u]) for u in self.sim_users}
-            self.max_workers = max_workers or os.cpu_count() or 1
+            self.max_workers = max_workers or available_cores()
             if n_batches is None:
                 # Oversubscribe so cost balancing has room to smooth
                 # stragglers without batches degenerating to single users.
@@ -266,6 +489,9 @@ class ExperimentPool:
             self.batches = balanced_batches(counts, n_batches)
             self.duration_seconds = workload.config.duration_hours * 3600.0
             self.shard_store_dir = None
+            #: Record counts in store-position order (== sim_users order);
+            #: run_cell_columnar balances its ranges on this.
+            self._store_counts = [counts[u] for u in self.sim_users]
             if shard_store_dir is not None:
                 # Write the columnar store once; workers memory-map it and
                 # the initializer ships a path instead of pickled records.
@@ -439,6 +665,69 @@ class ExperimentPool:
         if self.telemetry is not None:
             self.telemetry.meta["worker_restarts"] = self.worker_restarts
         return {key: state.result() for key, state in states.items()}
+
+    def run_cell_columnar(
+        self,
+        spec: MethodSpec,
+        config: ExperimentConfig,
+        keep_per_user: bool = True,
+        digest_deliveries: bool = False,
+    ) -> ExperimentResult:
+        """Run one cell as per-shard columnar engines over the store.
+
+        Requires the pool to have been built with ``shard_store_dir``:
+        each worker runs one :class:`~repro.runtime.columnar.ColumnarEngine`
+        per contiguous store-position range, reading records zero-copy
+        from the memory-mapped shard store.  Outcomes fold through the
+        same order-correcting :class:`_CellState` as :meth:`run_cell`, so
+        aggregates and per-user delivery digests are bit-identical to the
+        scalar batch path and to a single-process columnar run.
+        """
+        if self.shard_store_dir is None:
+            raise ValueError(
+                "run_cell_columnar needs a shard store; build the pool "
+                "with shard_store_dir"
+            )
+        if not supports(config):
+            raise ValueError(
+                "columnar execution supports the paper-default pipeline "
+                "only (no fault injection, no multi-feed cadences); use "
+                "run_cell for this config"
+            )
+        state = _CellState(spec, config, self.sim_users, keep_per_user)
+        ranges = _contiguous_ranges(
+            self._store_counts, self.max_workers * 4
+        )
+
+        def submit(task_range):
+            start, stop = task_range
+            return self._executor.submit(
+                _run_columnar_range, spec, config, start, stop,
+                digest_deliveries,
+            )
+
+        pending = {submit(r): r for r in ranges}
+        restarts_this_run = 0
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task_range = pending.pop(future)
+                try:
+                    _, outcomes = future.result()
+                except BrokenProcessPool:
+                    # Same one-restart recovery as run_cells: ranges are
+                    # idempotent replays of the on-disk store.
+                    if restarts_this_run >= 1:
+                        raise
+                    restarts_this_run += 1
+                    retry = [task_range, *pending.values()]
+                    self._rebuild_executor()
+                    pending = {submit(r): r for r in retry}
+                    break
+                state.add_batch(outcomes)
+        if self.telemetry is not None:
+            self.telemetry.meta["worker_restarts"] = self.worker_restarts
+        return state.result()
 
 
 def run_experiment_parallel(

@@ -266,6 +266,13 @@ class ColumnarRoundState:
     arrays carry everything with a fixed per-user width.  ``q_bytes`` and
     ``pending`` are refreshed to end-of-round snapshots after each round
     (the values the scalar ``RoundResult`` records).
+
+    ``dirty[u]`` tracks whether user ``u``'s queue composition changed
+    (ingest append or delivery) since the engine last rebuilt its cached
+    merged-row profile for that user -- the invalidation signal of the
+    multichannel merged-row cache.  Every user starts dirty, and
+    :meth:`ColumnarEngine.run` re-dirties the whole cohort at each call
+    boundary so resumed runs never trust a stale cache.
     """
 
     data_available: np.ndarray
@@ -274,6 +281,7 @@ class ColumnarRoundState:
     pending: np.ndarray
     rng_seeds: np.ndarray
     queues: list[list[int]] = field(default_factory=list)
+    dirty: np.ndarray | None = None
 
 
 @dataclass
@@ -429,6 +437,15 @@ class ColumnarEngine:
                     ]
                     for wire in self._ch_wire_sizes
                 ]
+            # Dense (channel, level) -> presentation-utility lookup for the
+            # batched joint selection (ragged rows zero-padded; merged
+            # candidates never index past their own channel's ladder).
+            width = max(len(row) for row in self._ch_pres_rows)
+            self._ch_pres_table = np.zeros(
+                (len(self._ch_pres_rows), width), dtype=np.float64
+            )
+            for ci, row in enumerate(self._ch_pres_rows):
+                self._ch_pres_table[ci, : len(row)] = row
 
         # Column views the per-user Python loops index into.
         self._created_np = cohort.created_at
@@ -445,7 +462,16 @@ class ColumnarEngine:
             pending=np.zeros(users, dtype=np.int64),
             rng_seeds=device.seeds,
             queues=[[] for _ in range(users)],
+            dirty=np.ones(users, dtype=bool),
         )
+        # Merged-row cache for the multichannel joint selection: per-user
+        # reduced (hull-filtered) choice rows, valid while the user's queue
+        # composition (state.dirty), energy level and connectivity code are
+        # unchanged.  Only usable without aging -- decay makes adjusted
+        # profits time-dependent, so aged runs rebuild every round.
+        self._merge_cache: dict[int, tuple] = {}
+        self.merge_cache_hits = 0
+        self.merge_cache_misses = 0
         self._deliveries: list[list[tuple]] = [[] for _ in range(users)]
         self._channel_codes: list[list[int]] = [[] for _ in range(users)]
         self._backlog_sum = np.zeros(users, dtype=np.float64)
@@ -511,11 +537,6 @@ class ColumnarEngine:
                 )
         else:
             self._mode = "compat"
-            if self._multichannel:
-                raise ValueError(
-                    "custom policies are not supported on the multichannel "
-                    "columnar path; run them through the scalar RoundLoop"
-                )
             if self.cohort.items is None:
                 raise ValueError(
                     "a custom policy or utility model needs cohort.items "
@@ -548,10 +569,24 @@ class ColumnarEngine:
             if limit_rounds < 0:
                 raise ValueError("limit_rounds must be >= 0")
             stop = min(stop, self._next_round + limit_rounds)
+        # Call boundary: callers may inspect or mutate round state between
+        # runs, so the merged-row cache never survives a resume.
+        self._merge_cache.clear()
+        self.state.dirty[:] = True
         for k in range(self._next_round, stop):
             self._run_round(k, self.times[k])
         self._next_round = stop
         return self.result()
+
+    @property
+    def selection_path(self) -> str:
+        """``'batched'`` when selection runs on cohort kernels, else ``'adapter'``.
+
+        The adapter (``needs_item_objects``) path snapshots one
+        :class:`~repro.runtime.policy.RoundContext` per user per round;
+        benches read this to prove a scenario stayed on the batched path.
+        """
+        return "adapter" if self._mode == "compat" else "batched"
 
     def result(self) -> ColumnarRunResult:
         """Outcome columns over the rounds executed so far."""
@@ -575,10 +610,12 @@ class ColumnarEngine:
         queues = state.queues
         counts = self._counts
         user_of = self._user_of
+        dirty = state.dirty
         for index in self._ingest_buckets[k]:
             u = user_of[index]
             queues[u].append(index)
             counts[u] += 1
+            dirty[u] = True
         kernels.replenish_data_column(state.data_available, self._theta)
         kernels.replenish_energy_column(
             state.energy_available, self.device.e_t[k], self._kappa
@@ -722,82 +759,180 @@ class ColumnarEngine:
     ) -> None:
         """Joint (channel x level) MCKP over every queued item of the group.
 
-        One Eq. 7 adjusted-profit matrix per channel (the batched kernel,
-        once per channel instead of once), then per item the per-channel
-        rows merge into a single strictly-increasing billed-size row
-        (:func:`repro.runtime.kernels.merge_channel_rows`) and Algorithm 1
-        picks over the merged rows -- always via the hull selector, since
-        cross-channel gradients are not monotone.
+        One Eq. 7 adjusted-profit matrix per channel, then the per-channel
+        rows of the *whole group* fuse at once
+        (:func:`repro.runtime.kernels.merge_channel_rows_batched` -- the
+        shared billed-size rows make the merged size axis common to every
+        item) and reduce to their convex hulls
+        (:func:`repro.runtime.kernels.hull_levels_batched`), so only
+        Algorithm 1's per-user budget-coupled greedy remains a Python
+        loop.  Bit-identical to merging and hull-filtering each item with
+        the scalar kernels.
+
+        Users whose reduced rows cannot have changed since last round --
+        queue composition clean (``state.dirty``), energy level and
+        connectivity code unchanged, no aging -- reuse their cached rows
+        and skip the merge entirely.
         """
         state = self.state
-        queues = state.queues
-        flat: list[int] = []
-        bounds: list[tuple[int, int, int]] = []
-        for u in members.tolist():
-            start = len(flat)
-            flat.extend(queues[u])
-            bounds.append((u, start, len(flat)))
-        flat_arr = np.asarray(flat, dtype=np.intp)
-        decayed = self._decay_column_at(flat_arr, now)
-        cfg = self._lyapunov
-        q_repeat = np.repeat(group_counts * self._ladder_total_f, group_counts)
-        p_repeat = np.repeat(state.energy_available[members], group_counts)
-        adjusted_rows: list[list[list[float]]] = []
-        for ci in range(len(self.channel_names)):
-            utilities = kernels.combined_utility_matrix(
-                decayed, self._ch_pres_rows[ci]
-            )
-            adjusted = kernels.lyapunov_adjusted_rows(
-                utilities,
-                self._ch_energies_rows[code][ci],
-                self._ladder_total_f,
-                q_repeat,
-                p_repeat,
-                kappa_joules=cfg.kappa_joules,
-                v=cfg.v,
-                size_scale=cfg.size_scale,
-                energy_scale=cfg.energy_scale,
-            )
-            adjusted_rows.append(adjusted.tolist())
-        n_channels = len(self.channel_names)
-        merged_sizes: list[list[int]] = []
-        merged_profits: list[list[float]] = []
-        backmaps: list[list[tuple[int, int]]] = []
-        for row in range(len(flat)):
-            sizes, profits, backmap = kernels.merge_channel_rows(
-                self._ch_billed_sizes,
-                [adjusted_rows[ci][row] for ci in range(n_channels)],
-            )
-            merged_sizes.append(sizes)
-            merged_profits.append(profits)
-            backmaps.append(backmap)
-        decayed_list = decayed.tolist()
-        item_ids = self._item_ids
+        cache = self._merge_cache
+        cache_enabled = self._aging is None
+        dirty = state.dirty
+        members_list = members.tolist()
+        counts_list = group_counts.tolist()
+        p_list = state.energy_available[members].tolist()
         budgets = np.minimum(
             state.data_available[members], self._capacity[code]
         ).tolist()
-        for (u, start, end), user_budget in zip(bounds, budgets):
+
+        entries: dict[int, tuple] = {}
+        miss_users: list[int] = []
+        miss_counts: list[int] = []
+        miss_p: list[float] = []
+        for u, count, p in zip(members_list, counts_list, p_list):
+            if cache_enabled and not dirty[u]:
+                entry = cache.get(u)
+                if entry is not None and entry[0] == p and entry[1] == code:  # richlint: ignore[RL301] -- bit-exact cache key, not a tolerance check
+                    entries[u] = entry
+                    self.merge_cache_hits += 1
+                    continue
+            miss_users.append(u)
+            miss_counts.append(count)
+            miss_p.append(p)
+        if miss_users:
+            self.merge_cache_misses += len(miss_users)
+            fresh = self._merge_group(now, code, miss_users, miss_counts, miss_p)
+            entries.update(fresh)
+            if cache_enabled:
+                cache.update(fresh)
+                for u in miss_users:
+                    dirty[u] = False
+
+        item_ids = self._item_ids
+        for u, user_budget in zip(members_list, budgets):
+            (
+                _p,
+                _code,
+                queue_items,
+                sizes_rows,
+                profits_rows,
+                chans_rows,
+                lvls_rows,
+                utils_rows,
+            ) = entries[u]
             budget = int(user_budget)
-            choices, _, _ = kernels.greedy_select_hull(
-                [item_ids[i] for i in flat[start:end]],
-                merged_sizes[start:end],
-                merged_profits[start:end],
+            # Reduced rows are exactly the hull filtering greedy_select_hull
+            # would apply, so the plain greedy picks identical choices.
+            choices, _, _ = kernels.greedy_select(
+                [item_ids[i] for i in queue_items],
+                sizes_rows,
+                profits_rows,
                 budget,
             )
             chosen: list[tuple[int, int, float, int]] = []
             for position, choice in enumerate(choices):
                 if choice <= 0:
                     continue
-                ci, level = backmaps[start + position][choice]
-                utility = (
-                    decayed_list[start + position]
-                    * self._ch_pres_rows[ci][level]
+                chosen.append(
+                    (
+                        queue_items[position],
+                        lvls_rows[position][choice],
+                        utils_rows[position][choice],
+                        chans_rows[position][choice],
+                    )
                 )
-                chosen.append((flat[start + position], level, utility, ci))
             if not chosen:
                 continue
             chosen.sort(key=lambda entry: entry[2], reverse=True)
             self._deliver_channels(u, now, chosen, code)
+
+    def _merge_group(
+        self,
+        now: float,
+        code: int,
+        users: list[int],
+        counts: list[int],
+        p_values: list[float],
+    ) -> dict[int, tuple]:
+        """Build merged + hull-reduced choice rows for a batch of users.
+
+        Returns one cache entry per user: ``(p_joules, code, queue_items,
+        reduced_sizes_rows, reduced_profits_rows, channel_rows, level_rows,
+        utility_rows)`` where row ``i`` describes queued item
+        ``queue_items[i]`` and index ``j > 0`` of each row is one surviving
+        joint (channel, level) choice (index 0 = not sent).
+        """
+        queues = self.state.queues
+        flat: list[int] = []
+        bounds: list[tuple[int, int, int]] = []
+        for u in users:
+            start = len(flat)
+            flat.extend(queues[u])
+            bounds.append((u, start, len(flat)))
+        flat_arr = np.asarray(flat, dtype=np.intp)
+        decayed = self._decay_column_at(flat_arr, now)
+        cfg = self._lyapunov
+        counts_arr = np.asarray(counts, dtype=np.int64)
+        q_repeat = np.repeat(counts_arr * self._ladder_total_f, counts_arr)
+        p_repeat = np.repeat(
+            np.asarray(p_values, dtype=np.float64), counts_arr
+        )
+        profits_stack: list[np.ndarray] = []
+        for ci in range(len(self.channel_names)):
+            utilities = kernels.combined_utility_matrix(
+                decayed, self._ch_pres_rows[ci]
+            )
+            profits_stack.append(
+                kernels.lyapunov_adjusted_rows(
+                    utilities,
+                    self._ch_energies_rows[code][ci],
+                    self._ladder_total_f,
+                    q_repeat,
+                    p_repeat,
+                    kappa_joules=cfg.kappa_joules,
+                    v=cfg.v,
+                    size_scale=cfg.size_scale,
+                    energy_scale=cfg.energy_scale,
+                )
+            )
+        merged_sizes, merged_profits, merged_chans, merged_lvls = (
+            kernels.merge_channel_rows_batched(
+                self._ch_billed_sizes, profits_stack
+            )
+        )
+        hull_idx, hull_len = kernels.hull_levels_batched(
+            merged_sizes, merged_profits
+        )
+        reduced_sizes = np.asarray(merged_sizes, dtype=np.int64)[hull_idx]
+        reduced_profits = np.take_along_axis(merged_profits, hull_idx, axis=1)
+        reduced_chans = np.take_along_axis(merged_chans, hull_idx, axis=1)
+        reduced_lvls = np.take_along_axis(merged_lvls, hull_idx, axis=1)
+        # Realized utility per surviving choice: decayed * U_p on the
+        # winning channel's ladder (same operands, same single multiply as
+        # the scalar recompute -- bit-identical).
+        reduced_utils = (
+            decayed[:, None] * self._ch_pres_table[reduced_chans, reduced_lvls]
+        )
+        sizes_l = reduced_sizes.tolist()
+        profits_l = reduced_profits.tolist()
+        chans_l = reduced_chans.tolist()
+        lvls_l = reduced_lvls.tolist()
+        utils_l = reduced_utils.tolist()
+        lengths = hull_len.tolist()
+        out: dict[int, tuple] = {}
+        for (u, start, end), p in zip(bounds, p_values):
+            rows = range(start, end)
+            out[u] = (
+                p,
+                code,
+                flat[start:end],
+                [sizes_l[r][: lengths[r]] for r in rows],
+                [profits_l[r][: lengths[r]] for r in rows],
+                [chans_l[r] for r in rows],
+                [lvls_l[r] for r in rows],
+                [utils_l[r] for r in rows],
+            )
+        return out
 
     def _select_fixed(
         self, now: float, code: int, members: np.ndarray
@@ -873,6 +1008,18 @@ class ColumnarEngine:
         model = self.utility_model
         estimate = self._estimate_fns[code]
         capacity = self._capacity[code]
+        channels = self.channels
+        channel_index = {
+            name: ci for ci, name in enumerate(self.channel_names)
+        }
+
+        def _utility_key(sel) -> float:
+            # Mirrors RoundLoop.select_phase: triples rank by the chosen
+            # channel's utility, bare pairs by the model's.
+            if len(sel) == 3:
+                return sel[2].utility(model, sel[0], sel[1], now)
+            return model.utility(sel[0], sel[1], now)
+
         for u in users:
             queue = state.queues[u]
             items = [items_all[i] for i in queue]
@@ -885,13 +1032,32 @@ class ColumnarEngine:
                 energy_available_joules=float(state.energy_available[u]),
                 utility_model=model,
                 estimate_energy=estimate,
+                channels=channels,
             )
             selected = list(self.policy.select(context).selections)
-            selected.sort(
-                key=lambda pair: model.utility(pair[0], pair[1], now),
-                reverse=True,
-            )
+            selected.sort(key=_utility_key, reverse=True)
             index_of = {self._item_ids[i]: i for i in queue}
+            if any(len(sel) == 3 for sel in selected):
+                primary = channels.primary
+                triples = [
+                    sel if len(sel) == 3 else (sel[0], sel[1], primary)
+                    for sel in selected
+                ]
+                self._deliver_channels(
+                    u,
+                    now,
+                    [
+                        (
+                            index_of[item.item_id],
+                            level,
+                            channel.utility(model, item, level, now),
+                            channel_index[channel.name],
+                        )
+                        for item, level, channel in triples
+                    ],
+                    code,
+                )
+                continue
             chosen = [
                 (
                     index_of[item.item_id],
@@ -941,6 +1107,7 @@ class ColumnarEngine:
             i for i in state.queues[u] if i not in delivered
         ]
         self._counts[u] = len(state.queues[u])
+        state.dirty[u] = True
 
     def _deliver_channels(
         self,
@@ -983,3 +1150,4 @@ class ColumnarEngine:
             i for i in state.queues[u] if i not in delivered
         ]
         self._counts[u] = len(state.queues[u])
+        state.dirty[u] = True

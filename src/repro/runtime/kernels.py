@@ -43,8 +43,10 @@ __all__ = [
     "greedy_select_hull",
     "hull_levels",
     "ingest_round_index",
+    "hull_levels_batched",
     "lyapunov_adjusted_matrix",
     "merge_channel_rows",
+    "merge_channel_rows_batched",
     "lyapunov_adjusted_rows",
     "replenish_data_column",
     "replenish_energy_column",
@@ -299,6 +301,132 @@ def merge_channel_rows(
         merged_profits.append(profit)
         backmap.append((channel_index, level))
     return merged_sizes, merged_profits, backmap
+
+
+def merge_channel_rows_batched(
+    sizes_rows: Sequence[Sequence[int]],
+    profits_stack: Sequence[np.ndarray],
+) -> tuple[list[int], np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`merge_channel_rows` for a whole cohort group in one call.
+
+    When every item in a group shares the same per-channel billed-size
+    rows (one presentation ladder across the group, as in the columnar
+    engine), the *merged size axis* is identical for all items -- only
+    the winning (channel, level) behind each merged size can differ,
+    decided by each item's own profits.  ``profits_stack[c]`` is channel
+    ``c``'s ``(n_items, n_levels_c)`` adjusted-profit matrix (column 0
+    the shared "not sent" choice).
+
+    Returns ``(merged_sizes, profits, channels, levels)``: the shared
+    strictly-increasing size row (leading 0), and three ``(n_items, k)``
+    arrays whose column ``j`` carries each item's winning profit and its
+    (channel, level) backmap for merged choice ``j`` (column 0 is the
+    not-sent sentinel: profit 0.0, channel 0, level 0).
+
+    Row ``i`` of the output equals ``merge_channel_rows`` applied to item
+    ``i`` alone: within an equal-size group the per-item sort keeps the
+    highest profit, then the lowest channel index, then the lowest level
+    -- reproduced here by ``np.argmax`` (first occurrence of the maximum)
+    over group members pre-sorted by (channel, level).
+    """
+    candidates: list[tuple[int, int, int]] = []
+    for channel_index, sizes in enumerate(sizes_rows):
+        for level in range(1, len(sizes)):
+            candidates.append((int(sizes[level]), channel_index, level))
+    candidates.sort()
+
+    groups: list[tuple[int, list[tuple[int, int]]]] = []
+    for size, channel_index, level in candidates:
+        if size <= 0:
+            # A billed size of 0 cannot be represented (index 0 is the
+            # not-sent sentinel); merge_channel_rows drops it too.
+            continue
+        if groups and groups[-1][0] == size:
+            groups[-1][1].append((channel_index, level))
+        else:
+            groups.append((size, [(channel_index, level)]))
+
+    n_items = int(profits_stack[0].shape[0]) if profits_stack else 0
+    width = len(groups) + 1
+    merged_sizes = [0] + [size for size, _ in groups]
+    merged_profits = np.zeros((n_items, width), dtype=np.float64)
+    merged_channels = np.zeros((n_items, width), dtype=np.int64)
+    merged_levels = np.zeros((n_items, width), dtype=np.int64)
+    for column, (_, members) in enumerate(groups, start=1):
+        if len(members) == 1:
+            channel_index, level = members[0]
+            merged_profits[:, column] = profits_stack[channel_index][:, level]
+            merged_channels[:, column] = channel_index
+            merged_levels[:, column] = level
+        else:
+            stacked = np.stack(
+                [profits_stack[c][:, level] for c, level in members], axis=1
+            )
+            winner = np.argmax(stacked, axis=1)
+            merged_profits[:, column] = np.take_along_axis(
+                stacked, winner[:, None], axis=1
+            )[:, 0]
+            member_channels = np.array([c for c, _ in members], dtype=np.int64)
+            member_levels = np.array([lvl for _, lvl in members], dtype=np.int64)
+            merged_channels[:, column] = member_channels[winner]
+            merged_levels[:, column] = member_levels[winner]
+    return merged_sizes, merged_profits, merged_channels, merged_levels
+
+
+def hull_levels_batched(
+    sizes_row: Sequence[int] | np.ndarray,
+    profits_matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`hull_levels` for every row of a shared-size-axis matrix.
+
+    ``sizes_row`` is one strictly-increasing size row (leading 0) shared
+    by all items; ``profits_matrix`` is ``(n_items, k)`` with column 0
+    equal to 0.0.  Returns ``(hull_indices, hull_lengths)``: row ``i``'s
+    surviving column indices are ``hull_indices[i, :hull_lengths[i]]``,
+    identical to ``hull_levels(sizes_row, profits_matrix[i])``.
+
+    Both passes replicate the scalar kernel's float comparisons exactly:
+    the dominance pass keeps column ``j`` iff its profit strictly exceeds
+    the running maximum of columns ``0..j-1``, and the Graham-scan pass
+    pops while ``grad_ac >= grad_ab`` with gradients computed as the same
+    IEEE-754 subtract-then-divide (sizes convert to float64 exactly).
+    """
+    sizes = np.asarray(sizes_row, dtype=np.float64)
+    profits = np.asarray(profits_matrix, dtype=np.float64)
+    n_items, width = profits.shape
+
+    kept = np.zeros((n_items, width), dtype=bool)
+    kept[:, 0] = True
+    if width > 1:
+        running_max = np.maximum.accumulate(profits, axis=1)
+        kept[:, 1:] = profits[:, 1:] > running_max[:, :-1]
+
+    hull_indices = np.zeros((n_items, width), dtype=np.int64)
+    hull_lengths = np.ones(n_items, dtype=np.int64)  # column 0 pre-pushed
+    for column in range(1, width):
+        active = kept[:, column]
+        if not active.any():
+            continue
+        popping = active.copy()
+        while True:
+            rows = np.flatnonzero(popping & (hull_lengths >= 2))
+            if rows.size == 0:
+                break
+            a = hull_indices[rows, hull_lengths[rows] - 2]
+            b = hull_indices[rows, hull_lengths[rows] - 1]
+            gradient_ab = (profits[rows, b] - profits[rows, a]) / (
+                sizes[b] - sizes[a]
+            )
+            gradient_ac = (profits[rows, column] - profits[rows, a]) / (
+                sizes[column] - sizes[a]
+            )
+            pop = gradient_ac >= gradient_ab
+            popping[rows[~pop]] = False
+            hull_lengths[rows[pop]] -= 1
+        push_rows = np.flatnonzero(active)
+        hull_indices[push_rows, hull_lengths[push_rows]] = column
+        hull_lengths[push_rows] += 1
+    return hull_indices, hull_lengths
 
 
 def gradient(

@@ -240,6 +240,17 @@ class TraceShardStore:
     The maps hold the file descriptors until :meth:`close` (or garbage
     collection) releases them -- close explicitly before deleting the
     directory on Windows-like platforms.
+
+    Concurrent readers are safe by construction: a sealed store is
+    immutable (the writer renames nothing into place after
+    :meth:`ShardStoreWriter.close`, it only ever appends before), every
+    map is opened ``mode="r"``, and no reader mutates shared state -- so
+    N processes may open the same directory simultaneously and must
+    observe byte-identical columns and records.  The shard-parallel
+    executor (``experiments/pool.py``) leans on exactly this: workers
+    receive the store *path* and read disjoint position ranges through
+    the shared page cache; ``tests/test_shard_parallel.py`` pins the
+    byte-identity across concurrent processes.
     """
 
     def __init__(self, path: str | Path) -> None:

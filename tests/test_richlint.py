@@ -316,6 +316,24 @@ class TestOnRealTree:
         assert not report.parse_errors
         assert report.findings == []
 
+    def test_shard_parallel_modules_clean_on_empty_baseline(self):
+        """ISSUE 10's new/changed modules pass EVERY rule family with no
+        baseline escape hatch -- not just the scoped R2,R4,R7 pass."""
+        modules = [
+            REPO_ROOT / "src/repro/runtime/kernels.py",
+            REPO_ROOT / "src/repro/runtime/columnar.py",
+            REPO_ROOT / "src/repro/experiments/pool.py",
+            REPO_ROOT / "src/repro/experiments/scale.py",
+            REPO_ROOT / "src/repro/experiments/columnar.py",
+            REPO_ROOT / "src/repro/trace/io.py",
+            REPO_ROOT / "src/repro/cli.py",
+        ]
+        for path in modules:
+            assert path.exists(), path
+        report = analyze_paths(modules, root=REPO_ROOT)
+        assert not report.parse_errors
+        assert report.findings == []
+
     def test_module_entry_point_runs_clean(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro.analysis", "src/repro"],

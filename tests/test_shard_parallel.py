@@ -1,0 +1,429 @@
+"""ISSUE 10's execution surface: shard-parallel runs + batched kernels.
+
+Three contracts under test:
+
+* **Shard-parallel determinism** -- splitting a shard store across
+  worker processes (:func:`run_store_columnar_parallel`,
+  :meth:`ExperimentPool.run_cell_columnar`) must produce per-user
+  outcomes bit-identical to the in-process columnar run and to the
+  scalar pool path, regardless of how positions are partitioned.
+* **Concurrent store readers** -- N processes memory-mapping the same
+  :class:`TraceShardStore` observe byte-identical columns and records.
+* **Batched multichannel kernels + dirty-set cache** -- the stacked
+  (channel x level) kernels match their per-item scalar twins choice
+  for choice, and the merged-row cache both engages on stable queues
+  and invalidates across ``run(limit_rounds=...)`` resume boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.channels import ChannelSet, builtin_channel
+from repro.core.presentations import build_audio_ladder
+from repro.experiments.columnar import (
+    build_cohort,
+    fold_outcomes,
+    make_engine,
+    run_users_columnar,
+)
+from repro.experiments.config import ExperimentConfig, Method, MethodSpec
+from repro.experiments.pool import (
+    ExperimentPool,
+    _contiguous_ranges,
+    available_cores,
+    oracle_scores,
+    run_store_columnar_parallel,
+)
+from repro.experiments.runner import UtilityAnnotations
+from repro.experiments.workloads import workload_spec
+from repro.runtime.kernels import (
+    hull_levels,
+    hull_levels_batched,
+    merge_channel_rows,
+    merge_channel_rows_batched,
+)
+from repro.trace.generator import TraceConfig, build_workload, iter_users
+from repro.trace.io import SHARD_COLUMNS, TraceShardStore, write_shard_store
+
+SPEC = MethodSpec(Method.RICHNOTE)
+
+
+def _stream_pairs(n_users, seed=41, min_pairs=None):
+    pairs = [(u, r) for u, r in iter_users(n_users, TraceConfig(seed=seed)) if r]
+    if min_pairs is not None:
+        assert len(pairs) >= min_pairs
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A small shard store plus its source pairs and duration."""
+    pairs = _stream_pairs(60, min_pairs=40)
+    path = tmp_path_factory.mktemp("shards") / "store"
+    write_shard_store(path, pairs)
+    duration = TraceConfig(seed=41).duration_hours * 3600.0
+    return str(path), pairs, duration
+
+
+# -- concurrent multi-process readers ------------------------------------------
+
+
+def _read_store_fingerprint(path: str, positions: tuple[int, ...]) -> dict:
+    """Open the store fresh and fingerprint its bytes (runs in workers)."""
+    with TraceShardStore(path) as shard_store:
+        fingerprint = {
+            name: hashlib.sha256(
+                np.ascontiguousarray(shard_store.column(name)).tobytes()
+            ).hexdigest()
+            for name in SHARD_COLUMNS
+        }
+        fingerprint["user_ids"] = hashlib.sha256(
+            np.ascontiguousarray(shard_store.user_ids).tobytes()
+        ).hexdigest()
+        fingerprint["offsets"] = hashlib.sha256(
+            np.ascontiguousarray(shard_store.offsets).tobytes()
+        ).hexdigest()
+        fingerprint["records"] = hashlib.sha256(
+            repr(
+                [shard_store.records_at(p) for p in positions]
+            ).encode()
+        ).hexdigest()
+    return fingerprint
+
+
+class TestConcurrentStoreReaders:
+    def test_n_process_readers_see_identical_bytes(self, store):
+        """The same store opened from N pool workers is byte-identical.
+
+        Every worker memory-maps the same files concurrently; nothing is
+        ever written after sealing, so all views (and the parent's) must
+        fingerprint identically, column for column and record for record.
+        """
+        path, pairs, _ = store
+        positions = tuple(range(0, len(pairs), 7))
+        expected = _read_store_fingerprint(path, positions)
+        with ProcessPoolExecutor(max_workers=3) as executor:
+            futures = [
+                executor.submit(_read_store_fingerprint, path, positions)
+                for _ in range(6)
+            ]
+            for future in futures:
+                assert future.result() == expected
+
+    def test_records_round_trip(self, store):
+        path, pairs, _ = store
+        with TraceShardStore(path) as shard_store:
+            for position, (user_id, records) in enumerate(pairs):
+                assert int(shard_store.user_ids[position]) == user_id
+                assert shard_store.records_at(position) == list(records)
+
+
+# -- range partitioning --------------------------------------------------------
+
+
+class TestContiguousRanges:
+    def test_covers_all_positions_contiguously(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            counts = [rng.randrange(0, 40) for _ in range(rng.randrange(1, 60))]
+            n_ranges = rng.randrange(1, 20)
+            ranges = _contiguous_ranges(counts, n_ranges)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == len(counts)
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+            assert all(start < stop for start, stop in ranges)
+            assert len(ranges) == min(n_ranges, len(counts))
+
+    def test_balances_record_mass(self):
+        # One heavy head position must not drag the whole tail with it.
+        counts = [1000] + [1] * 99
+        ranges = _contiguous_ranges(counts, 4)
+        assert ranges[0] == (0, 1)
+
+    def test_empty(self):
+        assert _contiguous_ranges([], 4) == []
+
+
+class TestAvailableCores:
+    def test_positive_int(self):
+        cores = available_cores()
+        assert isinstance(cores, int)
+        assert cores >= 1
+
+
+# -- shard-parallel execution --------------------------------------------------
+
+
+class TestStoreColumnarParallel:
+    def test_workers_split_is_bit_identical(self, store):
+        """workers=1, workers=2 and the direct cohort run all agree.
+
+        The workers=2 leg crosses real process boundaries (even on a
+        single-core machine the pool still forks); digests, metrics and
+        user order must match the in-process run exactly.
+        """
+        path, pairs, duration = store
+        config = ExperimentConfig(seed=41)
+        annotations = UtilityAnnotations(scores=oracle_scores(pairs))
+        direct = run_users_columnar(
+            pairs, SPEC, config, annotations, duration,
+            digest_deliveries=True,
+        )
+        for workers in (1, 2):
+            outcomes = run_store_columnar_parallel(
+                path, SPEC, config, duration,
+                workers=workers, digest_deliveries=True,
+            )
+            assert [o.metrics.user_id for o in outcomes] == [
+                o.metrics.user_id for o in direct
+            ]
+            assert [o.delivery_digest for o in outcomes] == [
+                o.delivery_digest for o in direct
+            ]
+            assert [o.metrics for o in outcomes] == [
+                o.metrics for o in direct
+            ]
+
+    def test_workers_derive_their_own_oracle_scores(self, store):
+        """annotations=None ships no score map; workers derive per-slice."""
+        path, pairs, duration = store
+        config = ExperimentConfig(seed=41)
+        annotations = UtilityAnnotations(scores=oracle_scores(pairs))
+        with_map = run_store_columnar_parallel(
+            path, SPEC, config, duration,
+            workers=2, annotations=annotations, digest_deliveries=True,
+        )
+        derived = run_store_columnar_parallel(
+            path, SPEC, config, duration,
+            workers=2, annotations=None, digest_deliveries=True,
+        )
+        assert [o.delivery_digest for o in derived] == [
+            o.delivery_digest for o in with_map
+        ]
+
+    def test_unsupported_config_rejected(self, store):
+        path, _, duration = store
+        from repro.sim.faults import FaultConfig
+
+        config = ExperimentConfig(
+            seed=41, faults=FaultConfig(p_disconnect=0.2)
+        )
+        with pytest.raises(ValueError, match="paper-default"):
+            run_store_columnar_parallel(path, SPEC, config, duration)
+
+
+class TestRunCellColumnar:
+    @pytest.fixture(scope="class")
+    def pool_world(self, tmp_path_factory):
+        workload = build_workload(workload_spec("small", seed=11))
+        store_dir = tmp_path_factory.mktemp("pool") / "store"
+        pool = ExperimentPool(
+            workload,
+            user_ids=workload.top_users(8),
+            max_workers=2,
+            shard_store_dir=store_dir,
+        )
+        yield pool
+        pool.shutdown()
+
+    def test_matches_scalar_cell(self, pool_world):
+        """Columnar store-range execution == the scalar batch path."""
+        config = ExperimentConfig(seed=11, weekly_budget_mb=5.0)
+        scalar = pool_world.run_cell(SPEC, config, digest_deliveries=True)
+        columnar = pool_world.run_cell_columnar(
+            SPEC, config, digest_deliveries=True
+        )
+        assert columnar.aggregate == scalar.aggregate
+        assert [o.delivery_digest for o in columnar.per_user] == [
+            o.delivery_digest for o in scalar.per_user
+        ]
+        assert [o.metrics for o in columnar.per_user] == [
+            o.metrics for o in scalar.per_user
+        ]
+
+    def test_requires_store(self):
+        workload = build_workload(workload_spec("small", seed=11))
+        with ExperimentPool(
+            workload, user_ids=workload.top_users(3), max_workers=1
+        ) as pool:
+            with pytest.raises(ValueError, match="shard store"):
+                pool.run_cell_columnar(SPEC, ExperimentConfig(seed=11))
+
+    def test_rejects_unsupported_config(self, pool_world):
+        from repro.sim.faults import FaultConfig
+
+        config = ExperimentConfig(
+            seed=11, faults=FaultConfig(p_disconnect=0.2)
+        )
+        with pytest.raises(ValueError, match="paper-default"):
+            pool_world.run_cell_columnar(SPEC, config)
+
+
+# -- batched multichannel kernels ----------------------------------------------
+
+
+def _random_ladders(rng):
+    """Per-channel billed-size rows shared by a group, plus profit stacks."""
+    n_channels = rng.randrange(1, 4)
+    n_items = rng.randrange(1, 9)
+    sizes_rows = []
+    for _ in range(n_channels):
+        n_levels = rng.randrange(2, 6)
+        # Deliberately include duplicate and zero billed sizes: ties must
+        # resolve like the scalar kernel, zero-size choices must drop.
+        row = [0] + [
+            rng.choice([0, 100, 200, 200, 300, 500, 800])
+            for _ in range(n_levels - 1)
+        ]
+        sizes_rows.append(row)
+    profits_stack = []
+    for row in sizes_rows:
+        profits = rng.choice([np.round, lambda x: x])(
+            np.asarray(
+                [
+                    [0.0] + [rng.uniform(-1, 5) for _ in range(len(row) - 1)]
+                    for _ in range(n_items)
+                ]
+            )
+        )
+        profits_stack.append(np.asarray(profits, dtype=np.float64))
+    return sizes_rows, profits_stack
+
+
+class TestBatchedKernels:
+    def test_merge_channel_rows_batched_matches_scalar(self):
+        """Stacked merge == per-item merge, winner for winner.
+
+        Rounded profit matrices force exact ties, exercising the
+        keep-first (highest profit, lowest channel, lowest level) rule.
+        """
+        rng = random.Random(7)
+        for _ in range(200):
+            sizes_rows, profits_stack = _random_ladders(rng)
+            merged_sizes, profits, channels, levels = (
+                merge_channel_rows_batched(sizes_rows, profits_stack)
+            )
+            n_items = profits_stack[0].shape[0]
+            for i in range(n_items):
+                scalar_sizes, scalar_profits, scalar_backmap = (
+                    merge_channel_rows(
+                        sizes_rows,
+                        [stack[i] for stack in profits_stack],
+                    )
+                )
+                assert merged_sizes == scalar_sizes
+                assert profits[i].tolist() == scalar_profits
+                assert list(
+                    zip(channels[i].tolist(), levels[i].tolist())
+                ) == scalar_backmap
+
+    def test_hull_levels_batched_matches_scalar(self):
+        rng = random.Random(13)
+        for _ in range(200):
+            k = rng.randrange(1, 10)
+            sizes = [0]
+            for _ in range(k - 1):
+                sizes.append(sizes[-1] + rng.randrange(1, 300))
+            n_items = rng.randrange(1, 8)
+            profits = np.zeros((n_items, k), dtype=np.float64)
+            for i in range(n_items):
+                for j in range(1, k):
+                    profits[i, j] = rng.choice(
+                        [rng.uniform(-1, 4), round(rng.uniform(0, 4), 1)]
+                    )
+            hull_indices, hull_lengths = hull_levels_batched(sizes, profits)
+            for i in range(n_items):
+                expected = hull_levels(sizes, profits[i].tolist())
+                got = hull_indices[i, : hull_lengths[i]].tolist()
+                assert got == expected
+
+
+# -- dirty-set merge cache across resume boundaries ----------------------------
+
+
+def _starved_multichannel_engine(pairs, duration):
+    """A backlogged, aging-free multichannel engine: cache-friendly.
+
+    No aging means a queued item's merged rows depend only on the queue
+    composition (the cache key); the starved budget keeps queues stable
+    across rounds so the cache actually gets hits.
+    """
+    config = ExperimentConfig(
+        seed=41, weekly_budget_mb=0.02, aging_tau_seconds=None
+    )
+    channels = ChannelSet(
+        [
+            builtin_channel("push"),
+            builtin_channel("inapp"),
+            builtin_channel("email"),
+        ]
+    )
+    annotations = UtilityAnnotations(scores=oracle_scores(pairs))
+    ladder = build_audio_ladder(config.presentation_spec)
+    columns = build_cohort(pairs, annotations, ladder)
+    engine = make_engine(
+        columns, SPEC, config, duration, channels=channels
+    )
+    return columns, engine
+
+
+class TestDirtyCacheResume:
+    def test_cache_engages_on_stable_queues(self, store):
+        _, pairs, duration = store
+        _, engine = _starved_multichannel_engine(pairs, duration)
+        assert engine.selection_path == "batched"
+        engine.run()
+        assert engine.merge_cache_hits > 0
+
+    def test_single_stepping_invalidates_and_stays_bit_identical(self, store):
+        """run(limit_rounds=1) to completion == one-shot run.
+
+        Every ``run()`` call is a resume boundary: callers may have
+        mutated round state in between, so the cache must drop all
+        entries -- the stepper records zero hits -- while deliveries and
+        channel codes stay bit-identical to the one-shot run.
+        """
+        _, pairs, duration = store
+        columns, one_shot = _starved_multichannel_engine(pairs, duration)
+        result = one_shot.run()
+        assert one_shot.merge_cache_hits > 0
+
+        _, stepper = _starved_multichannel_engine(pairs, duration)
+        n_rounds = len(stepper.times)
+        for _ in range(n_rounds):
+            stepped = stepper.run(limit_rounds=1)
+        assert stepper.merge_cache_hits == 0
+        assert stepper.merge_cache_misses >= one_shot.merge_cache_misses
+
+        assert stepped.deliveries == result.deliveries
+        assert stepped.channel_names == result.channel_names
+        for a, b in zip(stepped.channel_codes, result.channel_codes):
+            assert a == b
+        one = fold_outcomes(columns, result, digest_deliveries=True)
+        step = fold_outcomes(columns, stepped, digest_deliveries=True)
+        assert [o.delivery_digest for o in step] == [
+            o.delivery_digest for o in one
+        ]
+
+    def test_interleaved_chunked_resume_matches(self, store):
+        """Uneven resume chunks (1, 3, 7, ...) also fold bit-identically."""
+        _, pairs, duration = store
+        _, one_shot = _starved_multichannel_engine(pairs, duration)
+        result = one_shot.run()
+
+        _, chunked = _starved_multichannel_engine(pairs, duration)
+        remaining = len(chunked.times)
+        step = 1
+        while remaining > 0:
+            take = min(step, remaining)
+            partial = chunked.run(limit_rounds=take)
+            remaining -= take
+            step = step * 2 + 1
+        assert partial.deliveries == result.deliveries
